@@ -1,0 +1,278 @@
+"""Abstract syntax trees for the supported SQL subset.
+
+The subset covers everything the paper's stored procedures need:
+
+* ``SELECT`` with joins (INNER/LEFT/comma), WHERE, GROUP BY/HAVING,
+  ORDER BY, LIMIT/OFFSET, DISTINCT, aggregates;
+* ``INSERT ... VALUES`` (multi-row) and ``INSERT ... SELECT``;
+* ``UPDATE ... SET ... WHERE``;
+* ``DELETE FROM ... WHERE``;
+* positional ``?`` parameters everywhere an expression may appear.
+
+All nodes are frozen dataclasses so prepared statements are immutable and
+safely shareable between transaction executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """``name`` or ``qualifier.name`` (qualifier = table name or alias)."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """``?`` placeholder; ``index`` is the 0-based position in the bind list."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-', '+', 'not'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # '+','-','*','/','%','=','<>','<','<=','>','>=','and','or'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Scalar or aggregate function call; ``star`` marks ``COUNT(*)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    expr: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    expr: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    expr: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE WHEN cond THEN val ... [ELSE val] END`` (searched form)."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One join step: ``JOIN table ON cond`` (``on`` is None for comma joins,
+    where the condition lives in WHERE)."""
+
+    table: TableRef
+    on: Optional[Expr]
+    kind: str = "inner"  # 'inner' | 'left' | 'cross'
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+    star: bool = False  # bare '*' or 'alias.*'
+    star_qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    table: Optional[TableRef]
+    joins: tuple[JoinClause, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: TableRef
+    columns: tuple[str, ...]  # empty tuple = all columns in schema order
+    rows: tuple[tuple[Expr, ...], ...] = ()  # VALUES form
+    select: Optional[Select] = None  # INSERT ... SELECT form
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Update:
+    table: TableRef
+    assignments: tuple[Assignment, ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: TableRef
+    where: Optional[Expr] = None
+
+
+Statement = Union[Select, Insert, Update, Delete]
+
+#: Names treated as aggregate functions by the planner.
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def walk(expr: Expr):
+    """Depth-first pre-order traversal of an expression tree."""
+    yield expr
+    if isinstance(expr, Unary):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, FuncCall):
+        for a in expr.args:
+            yield from walk(a)
+    elif isinstance(expr, InList):
+        yield from walk(expr.expr)
+        for item in expr.items:
+            yield from walk(item)
+    elif isinstance(expr, Between):
+        yield from walk(expr.expr)
+        yield from walk(expr.low)
+        yield from walk(expr.high)
+    elif isinstance(expr, IsNull):
+        yield from walk(expr.expr)
+    elif isinstance(expr, Like):
+        yield from walk(expr.expr)
+        yield from walk(expr.pattern)
+    elif isinstance(expr, Case):
+        for cond, val in expr.whens:
+            yield from walk(cond)
+            yield from walk(val)
+        if expr.else_ is not None:
+            yield from walk(expr.else_)
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when any node of ``expr`` is an aggregate function call."""
+    return any(
+        isinstance(node, FuncCall) and node.name in AGGREGATE_FUNCTIONS
+        for node in walk(expr)
+    )
+
+
+def max_param_index(stmt: Statement) -> int:
+    """Highest ``?`` index in the statement plus one (= required bind count)."""
+    best = 0
+
+    def scan(expr: Optional[Expr]) -> None:
+        nonlocal best
+        if expr is None:
+            return
+        for node in walk(expr):
+            if isinstance(node, Param):
+                best = max(best, node.index + 1)
+
+    if isinstance(stmt, Select):
+        for item in stmt.items:
+            if not item.star:
+                scan(item.expr)
+        scan(stmt.where)
+        for g in stmt.group_by:
+            scan(g)
+        scan(stmt.having)
+        for o in stmt.order_by:
+            scan(o.expr)
+        scan(stmt.limit)
+        scan(stmt.offset)
+        for j in stmt.joins:
+            scan(j.on)
+    elif isinstance(stmt, Insert):
+        for row in stmt.rows:
+            for e in row:
+                scan(e)
+        if stmt.select is not None:
+            best = max(best, max_param_index(stmt.select))
+    elif isinstance(stmt, Update):
+        for a in stmt.assignments:
+            scan(a.value)
+        scan(stmt.where)
+    elif isinstance(stmt, Delete):
+        scan(stmt.where)
+    return best

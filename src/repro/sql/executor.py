@@ -1,0 +1,293 @@
+"""Execution context, result sets, and physical access paths.
+
+A :class:`PreparedStatement` (built by :mod:`repro.sql.planner`) is a pure
+closure over compiled expressions and access-path choices; running it
+requires an :class:`ExecutionContext`, which carries:
+
+* the catalog (tables are resolved by name at run time, so one prepared
+  statement works on every partition with the same schema),
+* the positional parameter list,
+* a write observer — the engine's transaction undo log,
+* an access guard — the streaming layer's window-visibility enforcement
+  (paper §3.2.2), and
+* event counters (rows scanned, index probes, rows written) that the
+  execution engine converts into simulated-time charges and that tests
+  assert on directly.
+
+All writes go through the context (:meth:`ExecutionContext.insert` /
+:meth:`delete` / :meth:`update`) so that undo logging, visibility guards,
+trigger notification, and cost accounting see every mutation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Optional, Protocol, Sequence
+
+from ..common.errors import PlanningError
+from ..storage.catalog import Catalog
+from ..storage.index import OrderedIndex
+from ..storage.table import Table
+
+
+class WriteObserver(Protocol):
+    """Receives every physical mutation (the transaction undo log)."""
+
+    def on_insert(self, table: Table, rowid: int) -> None: ...
+
+    def on_delete(self, table: Table, rowid: int, old_row: tuple) -> None: ...
+
+    def on_update(self, table: Table, rowid: int, old_row: tuple) -> None: ...
+
+
+AccessGuard = Callable[[Table, str], None]  # (table, "read"|"write") -> None or raise
+
+
+class ResultSet:
+    """Query result: named columns plus materialised rows.
+
+    DML statements return an empty-column result whose :attr:`rowcount`
+    records the number of affected rows (mirroring H-Store's behaviour of
+    returning a single-cell VoltTable for DML).
+    """
+
+    __slots__ = ("columns", "rows", "rowcount")
+
+    def __init__(self, columns: Sequence[str], rows: list[tuple], rowcount: int | None = None):
+        self.columns = tuple(columns)
+        self.rows = rows
+        self.rowcount = len(rows) if rowcount is None else rowcount
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result (or None
+        when the result is empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            i = self.columns.index(name.lower())
+        except ValueError:
+            raise PlanningError(f"no column {name!r} in result (have {self.columns})") from None
+        return [row[i] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultSet({self.columns}, {len(self.rows)} rows)"
+
+
+EMPTY_RESULT = ResultSet((), [], rowcount=0)
+
+
+class ExecutionContext:
+    """Everything a prepared statement needs at run time."""
+
+    __slots__ = ("catalog", "params", "observer", "guard", "counters")
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        params: Sequence[Any] = (),
+        *,
+        observer: Optional[WriteObserver] = None,
+        guard: Optional[AccessGuard] = None,
+    ):
+        self.catalog = catalog
+        self.params = tuple(params)
+        self.observer = observer
+        self.guard = guard
+        self.counters: Counter[str] = Counter()
+
+    # -- guarded table access ------------------------------------------------
+
+    def read_table(self, name: str) -> Table:
+        table = self.catalog.table(name)
+        if self.guard is not None:
+            self.guard(table, "read")
+        return table
+
+    def write_table(self, name: str) -> Table:
+        table = self.catalog.table(name)
+        if self.guard is not None:
+            self.guard(table, "write")
+        return table
+
+    # -- guarded mutations ----------------------------------------------------
+
+    def insert(self, table: Table, values: Sequence[Any]) -> int:
+        rowid = table.insert(values)
+        self.counters["rows_inserted"] += 1
+        if self.observer is not None:
+            self.observer.on_insert(table, rowid)
+        return rowid
+
+    def delete(self, table: Table, rowid: int) -> tuple:
+        old = table.delete_row(rowid)
+        self.counters["rows_deleted"] += 1
+        if self.observer is not None:
+            self.observer.on_delete(table, rowid, old)
+        return old
+
+    def update(self, table: Table, rowid: int, new_values: Sequence[Any]) -> tuple:
+        old = table.update_row(rowid, new_values)
+        self.counters["rows_updated"] += 1
+        if self.observer is not None:
+            self.observer.on_update(table, rowid, old)
+        return old
+
+    # -- accounting -------------------------------------------------------------
+
+    def count(self, event: str, n: int = 1) -> None:
+        self.counters[event] += n
+
+
+# ---------------------------------------------------------------------------
+# Physical access paths.  Each is a factory the planner configures once;
+# calling it with a context yields (rowid, row) pairs.
+# ---------------------------------------------------------------------------
+
+Predicate = Callable[[Sequence[Any], Sequence[Any]], bool]
+ValueFn = Callable[[Sequence[Any], Sequence[Any]], Any]
+
+_NO_ROW: tuple = ()
+
+
+class SeqScan:
+    """Full scan in insertion (arrival) order with optional residual filter."""
+
+    __slots__ = ("table_name", "pred")
+
+    def __init__(self, table_name: str, pred: Optional[Predicate] = None):
+        self.table_name = table_name
+        self.pred = pred
+
+    def __call__(self, ctx: ExecutionContext) -> Iterator[tuple[int, tuple]]:
+        table = ctx.read_table(self.table_name)
+        pred = self.pred
+        params = ctx.params
+        scanned = 0
+        for rowid, row in table.scan_visible():
+            scanned += 1
+            if pred is None or pred(row, params):
+                yield rowid, row
+        ctx.count("rows_scanned", scanned)
+
+
+class IndexScan:
+    """Equality probe into a hash index, plus optional residual filter."""
+
+    __slots__ = ("table_name", "index_name", "key_fns", "pred")
+
+    def __init__(
+        self,
+        table_name: str,
+        index_name: str,
+        key_fns: Sequence[ValueFn],
+        pred: Optional[Predicate] = None,
+    ):
+        self.table_name = table_name
+        self.index_name = index_name
+        self.key_fns = tuple(key_fns)
+        self.pred = pred
+
+    def __call__(self, ctx: ExecutionContext) -> Iterator[tuple[int, tuple]]:
+        table = ctx.read_table(self.table_name)
+        index = table.index(self.index_name)
+        params = ctx.params
+        key = tuple(fn(_NO_ROW, params) for fn in self.key_fns)
+        ctx.count("index_probes")
+        if any(v is None for v in key):
+            return  # col = NULL never matches
+        pred = self.pred
+        visible = table.is_visible
+        for rowid in index.lookup(key):
+            row = table.get(rowid)
+            if row is None or not visible(row):
+                continue
+            ctx.count("rows_scanned")
+            if pred is None or pred(row, params):
+                yield rowid, row
+
+
+class IndexRangeScan:
+    """Range scan over an ordered index, plus optional residual filter."""
+
+    __slots__ = ("table_name", "index_name", "lo_fn", "hi_fn", "lo_inc", "hi_inc", "pred")
+
+    def __init__(
+        self,
+        table_name: str,
+        index_name: str,
+        lo_fn: Optional[ValueFn],
+        hi_fn: Optional[ValueFn],
+        lo_inc: bool,
+        hi_inc: bool,
+        pred: Optional[Predicate] = None,
+    ):
+        self.table_name = table_name
+        self.index_name = index_name
+        self.lo_fn = lo_fn
+        self.hi_fn = hi_fn
+        self.lo_inc = lo_inc
+        self.hi_inc = hi_inc
+        self.pred = pred
+
+    def __call__(self, ctx: ExecutionContext) -> Iterator[tuple[int, tuple]]:
+        table = ctx.read_table(self.table_name)
+        index = table.index(self.index_name)
+        if not isinstance(index, OrderedIndex):  # pragma: no cover - planner invariant
+            raise PlanningError(f"index {self.index_name!r} is not ordered")
+        params = ctx.params
+        lo = self.lo_fn(_NO_ROW, params) if self.lo_fn is not None else None
+        hi = self.hi_fn(_NO_ROW, params) if self.hi_fn is not None else None
+        if (self.lo_fn is not None and lo is None) or (self.hi_fn is not None and hi is None):
+            return  # range bound NULL -> empty
+        ctx.count("index_probes")
+        pred = self.pred
+        visible = table.is_visible
+        for rowid in index.range_scan(lo, hi, lo_inclusive=self.lo_inc, hi_inclusive=self.hi_inc):
+            row = table.get(rowid)
+            if row is None or not visible(row):
+                continue
+            ctx.count("rows_scanned")
+            if pred is None or pred(row, params):
+                yield rowid, row
+
+
+Scan = SeqScan | IndexScan | IndexRangeScan
+
+
+def sort_rows(
+    pairs: list[tuple[tuple, tuple]],
+    descending: Sequence[bool],
+) -> list[tuple]:
+    """Sort ``(sort_key_tuple, output_row)`` pairs and return output rows.
+
+    Multi-key sorts are applied as successive stable sorts from the last key
+    to the first.  NULLs order last under ASC and first under DESC (each key
+    element arrives pre-wrapped as ``(value is None, value)``).
+    """
+    for i in range(len(descending) - 1, -1, -1):
+        reverse = descending[i]
+        pairs.sort(key=lambda pair, i=i: pair[0][i], reverse=reverse)
+    return [row for _key, row in pairs]
+
+
+def null_safe_key(value: Any) -> tuple:
+    """Wrap a sort value so NULLs compare without TypeError."""
+    return (value is None, value)

@@ -1,0 +1,510 @@
+"""Expression compilation and evaluation with SQL three-valued logic.
+
+Expressions are compiled once (at statement-preparation time) into Python
+closures of signature ``(row, params) -> value`` where ``row`` is the flat
+tuple produced by the current plan node and ``params`` is the positional
+bind list.  NULL (``None``) propagates through arithmetic and comparisons;
+``AND``/``OR``/``NOT`` follow Kleene three-valued logic; a WHERE clause
+treats ``NULL`` as not-satisfied.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..common.errors import ExpressionError, NoSuchColumnError, PlanningError
+from .ast import (
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Param,
+    Unary,
+)
+
+Compiled = Callable[[Sequence[Any], Sequence[Any]], Any]
+
+
+@dataclass(frozen=True)
+class SlotRef(Expr):
+    """Internal node: a direct reference into the current row tuple.
+
+    The planner substitutes these for group keys and computed aggregates
+    when compiling HAVING / ORDER BY / projection over grouped rows.
+    """
+
+    slot: int
+
+
+class Scope:
+    """Resolves column references to slots in the current flat row.
+
+    Built from the FROM clause: each source contributes its columns at an
+    offset.  Unqualified names must be unambiguous across sources.
+    """
+
+    def __init__(self) -> None:
+        #: binding name -> (offset, schema)
+        self.sources: dict[str, tuple[int, Any]] = {}
+        self.width = 0
+
+    def add_source(self, binding: str, schema) -> int:
+        binding = binding.lower()
+        if binding in self.sources:
+            raise PlanningError(f"duplicate table binding {binding!r} in FROM clause")
+        offset = self.width
+        self.sources[binding] = (offset, schema)
+        self.width += schema.arity()
+        return offset
+
+    def resolve(self, name: str, qualifier: Optional[str]) -> int:
+        name = name.lower()
+        if qualifier is not None:
+            qualifier = qualifier.lower()
+            if qualifier not in self.sources:
+                raise PlanningError(f"unknown table or alias {qualifier!r}")
+            offset, schema = self.sources[qualifier]
+            return offset + schema.position(name)
+        matches = []
+        for binding, (offset, schema) in self.sources.items():
+            if schema.has_column(name):
+                matches.append(offset + schema.position(name))
+        if not matches:
+            raise PlanningError(f"unknown column {name!r}")
+        if len(matches) > 1:
+            raise PlanningError(f"ambiguous column {name!r}; qualify it")
+        return matches[0]
+
+    def columns_of(self, binding: str) -> list[tuple[str, int]]:
+        offset, schema = self.sources[binding.lower()]
+        return [(c, offset + schema.position(c)) for c in schema.column_names()]
+
+    def all_columns(self) -> list[tuple[str, int]]:
+        out = []
+        for binding in self.sources:
+            out.extend(self.columns_of(binding))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Scalar function registry
+# ---------------------------------------------------------------------------
+
+def _fn_abs(v):
+    return None if v is None else abs(v)
+
+
+def _fn_floor(v):
+    return None if v is None else math.floor(v)
+
+
+def _fn_ceil(v):
+    return None if v is None else math.ceil(v)
+
+
+def _fn_round(v, digits=0):
+    if v is None:
+        return None
+    result = round(v, int(digits))
+    return result
+
+
+def _fn_length(v):
+    return None if v is None else len(v)
+
+
+def _fn_upper(v):
+    return None if v is None else str(v).upper()
+
+
+def _fn_lower(v):
+    return None if v is None else str(v).lower()
+
+
+def _fn_mod(a, b):
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise ExpressionError("MOD by zero")
+    return math.fmod(a, b) if isinstance(a, float) or isinstance(b, float) else int(math.fmod(a, b))
+
+
+def _fn_coalesce(*args):
+    for a in args:
+        if a is not None:
+            return a
+    return None
+
+
+def _fn_nullif(a, b):
+    return None if a == b else a
+
+
+def _fn_greatest(*args):
+    present = [a for a in args if a is not None]
+    return max(present) if present else None
+
+
+def _fn_least(*args):
+    present = [a for a in args if a is not None]
+    return min(present) if present else None
+
+
+def _fn_power(a, b):
+    if a is None or b is None:
+        return None
+    return math.pow(a, b)
+
+
+def _fn_sqrt(a):
+    if a is None:
+        return None
+    if a < 0:
+        raise ExpressionError("SQRT of negative value")
+    return math.sqrt(a)
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": _fn_abs,
+    "floor": _fn_floor,
+    "ceil": _fn_ceil,
+    "ceiling": _fn_ceil,
+    "round": _fn_round,
+    "length": _fn_length,
+    "char_length": _fn_length,
+    "upper": _fn_upper,
+    "lower": _fn_lower,
+    "mod": _fn_mod,
+    "coalesce": _fn_coalesce,
+    "nullif": _fn_nullif,
+    "greatest": _fn_greatest,
+    "least": _fn_least,
+    "power": _fn_power,
+    "sqrt": _fn_sqrt,
+}
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic / comparison with NULL propagation
+# ---------------------------------------------------------------------------
+
+def _arith(op: str, a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    try:
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0:
+                raise ExpressionError("division by zero")
+            if isinstance(a, int) and isinstance(b, int):
+                # SQL integer division truncates toward zero
+                q = abs(a) // abs(b)
+                return q if (a >= 0) == (b >= 0) else -q
+            return a / b
+        if op == "%":
+            if b == 0:
+                raise ExpressionError("modulo by zero")
+            if isinstance(a, int) and isinstance(b, int):
+                r = abs(a) % abs(b)
+                return r if a >= 0 else -r
+            return math.fmod(a, b)
+    except TypeError:
+        raise ExpressionError(
+            f"invalid operands for {op!r}: {type(a).__name__}, {type(b).__name__}"
+        ) from None
+    raise ExpressionError(f"unknown arithmetic operator {op!r}")  # pragma: no cover
+
+
+def _compare(op: str, a: Any, b: Any) -> Optional[bool]:
+    if a is None or b is None:
+        return None
+    try:
+        if op == "=":
+            return a == b
+        if op == "<>":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+    except TypeError:
+        raise ExpressionError(
+            f"cannot compare {type(a).__name__} with {type(b).__name__}"
+        ) from None
+    raise ExpressionError(f"unknown comparison operator {op!r}")  # pragma: no cover
+
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def like_match(value: Any, pattern: Any) -> Optional[bool]:
+    """SQL LIKE with ``%`` and ``_`` wildcards (NULL-propagating)."""
+    if value is None or pattern is None:
+        return None
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+        )
+        compiled = re.compile(f"^{regex}$", re.DOTALL)
+        if len(_LIKE_CACHE) < 1024:
+            _LIKE_CACHE[pattern] = compiled
+    return compiled.match(str(value)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+def compile_expr(expr: Expr, scope: Scope) -> Compiled:
+    """Compile ``expr`` into a ``(row, params) -> value`` closure.
+
+    Aggregate function calls must have been substituted away (into
+    :class:`SlotRef`) by the planner before compilation; encountering one
+    here is a planning bug surfaced as :class:`PlanningError`.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row, params: value
+
+    if isinstance(expr, SlotRef):
+        slot = expr.slot
+        return lambda row, params: row[slot]
+
+    if isinstance(expr, ColumnRef):
+        try:
+            slot = scope.resolve(expr.name, expr.qualifier)
+        except NoSuchColumnError as exc:
+            raise PlanningError(str(exc)) from None
+        return lambda row, params: row[slot]
+
+    if isinstance(expr, Param):
+        index = expr.index
+        def eval_param(row, params, index=index):
+            try:
+                return params[index]
+            except IndexError:
+                raise ExpressionError(
+                    f"statement requires at least {index + 1} parameters, got {len(params)}"
+                ) from None
+        return eval_param
+
+    if isinstance(expr, Unary):
+        inner = compile_expr(expr.operand, scope)
+        if expr.op == "not":
+            def eval_not(row, params):
+                v = inner(row, params)
+                if v is None:
+                    return None
+                return not _truthy(v)
+            return eval_not
+        if expr.op == "-":
+            def eval_neg(row, params):
+                v = inner(row, params)
+                return None if v is None else -v
+            return eval_neg
+        if expr.op == "+":
+            return inner
+        raise PlanningError(f"unknown unary operator {expr.op!r}")  # pragma: no cover
+
+    if isinstance(expr, Binary):
+        op = expr.op
+        left = compile_expr(expr.left, scope)
+        right = compile_expr(expr.right, scope)
+        if op == "and":
+            def eval_and(row, params):
+                a = left(row, params)
+                if a is not None and not _truthy(a):
+                    return False
+                b = right(row, params)
+                if b is not None and not _truthy(b):
+                    return False
+                if a is None or b is None:
+                    return None
+                return True
+            return eval_and
+        if op == "or":
+            def eval_or(row, params):
+                a = left(row, params)
+                if a is not None and _truthy(a):
+                    return True
+                b = right(row, params)
+                if b is not None and _truthy(b):
+                    return True
+                if a is None or b is None:
+                    return None
+                return False
+            return eval_or
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda row, params: _compare(op, left(row, params), right(row, params))
+        return lambda row, params: _arith(op, left(row, params), right(row, params))
+
+    if isinstance(expr, FuncCall):
+        from .ast import AGGREGATE_FUNCTIONS
+
+        if expr.name in AGGREGATE_FUNCTIONS:
+            raise PlanningError(
+                f"aggregate {expr.name.upper()}() not allowed in this context"
+            )
+        fn = SCALAR_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise PlanningError(f"unknown function {expr.name!r}")
+        arg_fns = [compile_expr(a, scope) for a in expr.args]
+        return lambda row, params: fn(*[f(row, params) for f in arg_fns])
+
+    if isinstance(expr, InList):
+        target = compile_expr(expr.expr, scope)
+        item_fns = [compile_expr(e, scope) for e in expr.items]
+        negated = expr.negated
+        def eval_in(row, params):
+            v = target(row, params)
+            if v is None:
+                return None
+            saw_null = False
+            for f in item_fns:
+                item = f(row, params)
+                if item is None:
+                    saw_null = True
+                elif item == v:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+        return eval_in
+
+    if isinstance(expr, Between):
+        target = compile_expr(expr.expr, scope)
+        low = compile_expr(expr.low, scope)
+        high = compile_expr(expr.high, scope)
+        negated = expr.negated
+        def eval_between(row, params):
+            v = target(row, params)
+            lo = low(row, params)
+            hi = high(row, params)
+            a = _compare(">=", v, lo)
+            b = _compare("<=", v, hi)
+            if a is None or b is None:
+                if a is False or b is False:
+                    return negated
+                return None
+            result = a and b
+            return (not result) if negated else result
+        return eval_between
+
+    if isinstance(expr, IsNull):
+        inner = compile_expr(expr.expr, scope)
+        negated = expr.negated
+        return lambda row, params: (inner(row, params) is not None) == negated
+
+    if isinstance(expr, Like):
+        target = compile_expr(expr.expr, scope)
+        pattern = compile_expr(expr.pattern, scope)
+        negated = expr.negated
+        def eval_like(row, params):
+            result = like_match(target(row, params), pattern(row, params))
+            if result is None:
+                return None
+            return (not result) if negated else result
+        return eval_like
+
+    if isinstance(expr, Case):
+        compiled_whens = [
+            (compile_expr(cond, scope), compile_expr(val, scope)) for cond, val in expr.whens
+        ]
+        else_fn = compile_expr(expr.else_, scope) if expr.else_ is not None else None
+        def eval_case(row, params):
+            for cond_fn, val_fn in compiled_whens:
+                cond = cond_fn(row, params)
+                if cond is not None and _truthy(cond):
+                    return val_fn(row, params)
+            return else_fn(row, params) if else_fn is not None else None
+        return eval_case
+
+    raise PlanningError(f"cannot compile expression node {type(expr).__name__}")
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise ExpressionError(f"value {value!r} is not a boolean condition")
+
+
+def predicate(compiled: Compiled) -> Callable[[Sequence[Any], Sequence[Any]], bool]:
+    """Wrap a compiled expression as a WHERE predicate: NULL → not satisfied."""
+    def check(row, params):
+        v = compiled(row, params)
+        if v is None:
+            return False
+        return _truthy(v)
+    return check
+
+
+def substitute(expr: Expr, mapping: dict[Expr, int]) -> Expr:
+    """Replace subexpressions present in ``mapping`` with :class:`SlotRef`.
+
+    Used by the planner to rewrite projections/HAVING/ORDER BY over grouped
+    rows: group keys and aggregate calls become direct slot references.
+    Matching relies on AST node equality (frozen dataclasses).
+    """
+    if expr in mapping:
+        return SlotRef(mapping[expr])
+    if isinstance(expr, Unary):
+        return Unary(expr.op, substitute(expr.operand, mapping))
+    if isinstance(expr, Binary):
+        return Binary(expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(substitute(a, mapping) for a in expr.args),
+            distinct=expr.distinct,
+            star=expr.star,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            substitute(expr.expr, mapping),
+            tuple(substitute(i, mapping) for i in expr.items),
+            negated=expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            substitute(expr.expr, mapping),
+            substitute(expr.low, mapping),
+            substitute(expr.high, mapping),
+            negated=expr.negated,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(substitute(expr.expr, mapping), negated=expr.negated)
+    if isinstance(expr, Like):
+        return Like(
+            substitute(expr.expr, mapping),
+            substitute(expr.pattern, mapping),
+            negated=expr.negated,
+        )
+    if isinstance(expr, Case):
+        return Case(
+            tuple(
+                (substitute(c, mapping), substitute(v, mapping)) for c, v in expr.whens
+            ),
+            substitute(expr.else_, mapping) if expr.else_ is not None else None,
+        )
+    return expr

@@ -1,0 +1,21 @@
+"""Storage substrate: schemas, tables, indexes, catalog, partitioning."""
+
+from .catalog import Catalog
+from .index import HashIndex, Index, OrderedIndex
+from .partitioning import PartitionMap, stable_hash
+from .schema import Column, TableKind, TableSchema, schema
+from .table import Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "HashIndex",
+    "Index",
+    "OrderedIndex",
+    "PartitionMap",
+    "Table",
+    "TableKind",
+    "TableSchema",
+    "schema",
+    "stable_hash",
+]

@@ -1,0 +1,79 @@
+"""Hash partitioning of data and workload across cores.
+
+H-Store divides the database horizontally across partitions — one per core —
+and runs transactions serially within each partition (paper §3.1).  S-Store
+inherits this for its §4.7 multi-core experiments: "S-Store is able to
+partition an input stream onto multiple cores.  Each core runs TE's of the
+complete workflow in a serial, single-sited fashion for the input stream
+partition to which it is assigned."
+
+:class:`PartitionMap` records, per table, which column routes rows, and maps
+partitioning-key values to partition ids.  Routing uses a stable hash (not
+Python's randomised ``hash``) so placement is deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Sequence
+
+from ..common.errors import SchemaError
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic non-negative hash of a SQL value."""
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value) + 1
+    if isinstance(value, int):
+        return value & 0x7FFFFFFF if value >= 0 else (-value * 2654435761) & 0x7FFFFFFF
+    if isinstance(value, float):
+        return zlib.crc32(repr(value).encode("utf-8"))
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    raise SchemaError(f"value {value!r} is not hashable for partitioning")
+
+
+class PartitionMap:
+    """Assigns rows and requests to partitions.
+
+    ``partition_of(value)`` is the core routing primitive.  For the Linear
+    Road workload the key is the x-way id; round-robin assignment
+    (``value % n``) keeps contiguous x-ways spread evenly, matching the
+    paper's "we distribute the x-ways evenly across partitions".
+    """
+
+    __slots__ = ("num_partitions", "_table_keys", "mode")
+
+    def __init__(self, num_partitions: int = 1, *, mode: str = "hash"):
+        if num_partitions < 1:
+            raise SchemaError("need at least one partition")
+        if mode not in ("hash", "round_robin"):
+            raise SchemaError(f"unknown partitioning mode {mode!r}")
+        self.num_partitions = num_partitions
+        self.mode = mode
+        self._table_keys: dict[str, str] = {}
+
+    def set_partition_key(self, table: str, column: str) -> None:
+        self._table_keys[table.lower()] = column.lower()
+
+    def partition_key(self, table: str) -> str | None:
+        return self._table_keys.get(table.lower())
+
+    def partition_of(self, value: Any) -> int:
+        if self.num_partitions == 1:
+            return 0
+        if self.mode == "round_robin" and isinstance(value, int):
+            return value % self.num_partitions
+        return stable_hash(value) % self.num_partitions
+
+    def partition_of_row(self, table: str, schema, row: Sequence[Any]) -> int:
+        """Partition for a full row of ``table`` (single-partition → 0)."""
+        key_col = self._table_keys.get(table.lower())
+        if key_col is None or self.num_partitions == 1:
+            return 0
+        return self.partition_of(row[schema.position(key_col)])
+
+    def all_partitions(self) -> range:
+        return range(self.num_partitions)

@@ -1,0 +1,262 @@
+"""In-memory row store with index maintenance and constraint checks.
+
+Rows live in an insertion-ordered ``dict[rowid, tuple]``; row ids are
+monotonically increasing and never reused, which gives three properties the
+engine relies on:
+
+* ``scan()`` yields rows in insertion order — the arrival order that stream
+  tables depend on (§3.2.1: "the order of tuples in a stream is captured
+  based on tuple metadata");
+* deletes/updates are O(1) and reversible by rowid, which is what the
+  transaction undo log records;
+* snapshots and command-log replay rebuild identical physical state.
+
+Constraint enforcement (NOT NULL, PRIMARY KEY, UNIQUE) happens here, so
+every execution path — SQL, stored procedures, recovery replay — observes
+the same integrity rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..common.errors import ConstraintViolation, NoSuchIndexError, SchemaError
+from .index import HashIndex, Index, OrderedIndex
+from .schema import TableSchema
+
+
+class Table:
+    """One in-memory table (also the substrate for streams and windows)."""
+
+    __slots__ = ("schema", "_rows", "_next_rowid", "indexes", "stats")
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[int, tuple] = {}
+        self._next_rowid: int = 1
+        self.indexes: dict[str, Index] = {}
+        #: mutable counters: rows_scanned / index_probes, read by the EE's
+        #: cost accounting and reset per statement.
+        self.stats = {"rows_scanned": 0, "index_probes": 0}
+        if schema.primary_key:
+            self.create_index(f"{schema.name}_pkey", schema.primary_key, unique=True)
+        for i, key in enumerate(schema.unique_keys):
+            self.create_index(f"{schema.name}_uniq{i}", key, unique=True)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- index management ----------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        key_columns: Sequence[str],
+        *,
+        unique: bool = False,
+        ordered: bool = False,
+    ) -> Index:
+        """Create (and backfill) a secondary index."""
+        if name in self.indexes:
+            raise SchemaError(f"index {name!r} already exists on table {self.name!r}")
+        for c in key_columns:
+            self.schema.position(c)  # raises NoSuchColumnError for unknowns
+        index: Index
+        if ordered:
+            if unique:
+                raise SchemaError("ordered unique indexes are not supported")
+            index = OrderedIndex(name, key_columns)
+        else:
+            index = HashIndex(name, key_columns, unique=unique)
+        for rowid, row in self._rows.items():
+            index.insert(self.schema.key_of(row, index.key_columns), rowid)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise NoSuchIndexError(f"no index {name!r} on table {self.name!r}")
+        del self.indexes[name]
+
+    def index(self, name: str) -> Index:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise NoSuchIndexError(f"no index {name!r} on table {self.name!r}") from None
+
+    def find_equality_index(self, columns: Iterable[str]) -> Index | None:
+        """An index whose key is exactly ``columns`` (order-insensitive),
+        preferring unique indexes; used by the SQL planner."""
+        wanted = frozenset(c.lower() for c in columns)
+        best: Index | None = None
+        for index in self.indexes.values():
+            if frozenset(index.key_columns) == wanted:
+                if getattr(index, "unique", False):
+                    return index
+                best = best or index
+        return best
+
+    def find_ordered_index(self, column: str) -> OrderedIndex | None:
+        for index in self.indexes.values():
+            if isinstance(index, OrderedIndex) and index.key_columns == (column.lower(),):
+                return index
+        return None
+
+    # -- row operations -------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> int:
+        """Insert a full-width row; returns the new rowid.
+
+        All unique constraints are checked before any index is touched so a
+        violation leaves the table unchanged.
+        """
+        row = self.schema.coerce_row(values)
+        self._check_unique(row)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        for index in self.indexes.values():
+            key = self.schema.key_of(row, index.key_columns)
+            if self._indexable(index, key):
+                index.insert(key, rowid)
+        return rowid
+
+    def insert_mapping(self, mapping: dict[str, Any]) -> int:
+        """Insert from a column→value mapping (missing columns default)."""
+        return self.insert(self.schema.row_from_mapping(mapping))
+
+    def get(self, rowid: int) -> tuple | None:
+        return self._rows.get(rowid)
+
+    def delete_row(self, rowid: int) -> tuple:
+        """Delete by rowid; returns the old row (for undo logging)."""
+        row = self._rows.pop(rowid)
+        for index in self.indexes.values():
+            key = self.schema.key_of(row, index.key_columns)
+            if self._indexable(index, key):
+                index.delete(key, rowid)
+        return row
+
+    def update_row(self, rowid: int, new_values: Sequence[Any]) -> tuple:
+        """Replace the row at ``rowid``; returns the old row (for undo)."""
+        old = self._rows[rowid]
+        new = self.schema.coerce_row(new_values)
+        self._check_unique(new, ignore_rowid=rowid)
+        for index in self.indexes.values():
+            old_key = self.schema.key_of(old, index.key_columns)
+            new_key = self.schema.key_of(new, index.key_columns)
+            if old_key != new_key:
+                if self._indexable(index, old_key):
+                    index.delete(old_key, rowid)
+                if self._indexable(index, new_key):
+                    index.insert(new_key, rowid)
+        self._rows[rowid] = new
+        return old
+
+    def restore_row(self, rowid: int, row: tuple) -> None:
+        """Re-insert a previously deleted row under its original rowid
+        (undo path; bypasses re-coercion, the row was valid when stored)."""
+        if rowid in self._rows:
+            raise ConstraintViolation(f"rowid {rowid} already present in {self.name!r}")
+        self._rows[rowid] = row
+        for index in self.indexes.values():
+            key = self.schema.key_of(row, index.key_columns)
+            if self._indexable(index, key):
+                index.insert(key, rowid)
+        # rowids are never reused, even across undo
+        if rowid >= self._next_rowid:
+            self._next_rowid = rowid + 1
+
+    # -- scanning --------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """All ``(rowid, row)`` pairs in insertion (arrival) order."""
+        yield from list(self._rows.items())
+
+    def is_visible(self, row: tuple) -> bool:
+        """Whether SQL queries may see this row.
+
+        Plain tables expose everything; window tables override this to hide
+        tuples in the "staging" state (paper §3.2.2).
+        """
+        return True
+
+    def scan_visible(self) -> Iterator[tuple[int, tuple]]:
+        """Like :meth:`scan` but restricted to SQL-visible rows."""
+        visible = self.is_visible
+        for rowid, row in list(self._rows.items()):
+            if visible(row):
+                yield rowid, row
+
+    def scan_rows(self) -> Iterator[tuple]:
+        yield from list(self._rows.values())
+
+    def select_by_index(self, index: Index, key: tuple) -> Iterator[tuple[int, tuple]]:
+        for rowid in index.lookup(key):
+            row = self._rows.get(rowid)
+            if row is not None:
+                yield rowid, row
+
+    def truncate(self) -> int:
+        """Delete all rows; returns how many were removed."""
+        n = len(self._rows)
+        self._rows.clear()
+        for index in self.indexes.values():
+            index.clear()
+        return n
+
+    # -- snapshot support --------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Physical state for checkpointing: rowids, rows, next rowid."""
+        return {
+            "next_rowid": self._next_rowid,
+            "rows": [[rowid, list(row)] for rowid, row in self._rows.items()],
+        }
+
+    def load_snapshot_state(self, state: dict[str, Any]) -> None:
+        """Replace contents from a checkpoint produced by
+        :meth:`snapshot_state` (indexes are rebuilt)."""
+        self._rows = {int(rowid): tuple(row) for rowid, row in state["rows"]}
+        self._next_rowid = int(state["next_rowid"])
+        for index in self.indexes.values():
+            index.clear()
+            for rowid, row in self._rows.items():
+                key = self.schema.key_of(row, index.key_columns)
+                if self._indexable(index, key):
+                    index.insert(key, rowid)
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _indexable(index: Index, key: tuple) -> bool:
+        """Keys containing NULL are not stored in unique/ordered indexes
+        (SQL: NULL is distinct from every value, including NULL)."""
+        if any(v is None for v in key):
+            return False
+        return True
+
+    def _check_unique(self, row: tuple, *, ignore_rowid: int | None = None) -> None:
+        for index in self.indexes.values():
+            if not getattr(index, "unique", False):
+                continue
+            key = self.schema.key_of(row, index.key_columns)
+            if not self._indexable(index, key):
+                continue
+            for existing in index.lookup(key):
+                if existing != ignore_rowid:
+                    raise ConstraintViolation(
+                        f"table {self.name!r}: duplicate key {key!r} for index {index.name!r}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, rows={len(self._rows)}, kind={self.schema.kind.value})"
