@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Deterministic micro-benchmark harness for the compile-once SQL pipeline.
+
+Every workload runs against a fresh :class:`repro.engine.Database` with the
+calibrated :class:`~repro.common.clock.CostModel`; throughput and latency
+are computed from **simulated** time (see ``repro/common/clock.py`` for why),
+so results are exact, machine-independent, and reproducible bit-for-bit.
+
+Workloads
+=========
+* ``bulk_insert``       — load N rows through one cached prepared INSERT.
+* ``point_lookup_index``— primary-key point queries (IndexScan).
+* ``point_lookup_seqscan`` — the same selectivity on an unindexed column
+  (SeqScan), the paper's §4.6.3 "lookup vs. table scan" contrast.
+* ``range_scan``        — ordered-index range queries (IndexRangeScan).
+* ``plan_cache``        — one statement executed R times: cold plan cost
+  vs. cache-hit cost and the cache hit rate.
+
+The harness writes ``BENCH_pr1.json`` and (unless ``--no-check``) enforces
+the PR's acceptance thresholds: point lookup ≥ 10× cheaper than the
+equivalent seq scan, plan-cache hit rate ≥ 99% on the repeated-statement
+workload, and cache hits cheaper than cold plans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.common.clock import CostModel, Stopwatch  # noqa: E402
+from repro.common.types import ColumnType  # noqa: E402
+from repro.engine import Database  # noqa: E402
+from repro.storage.schema import schema  # noqa: E402
+
+DEFAULT_ROWS = 10_000
+POINT_QUERIES = 2_000
+SEQSCAN_QUERIES = 50
+RANGE_QUERIES = 200
+CACHE_REPEATS = 5_000
+GROUPS = 100  # distinct values of the ``grp`` column
+
+
+def lcg(seed: int = 0x5EED):
+    """Deterministic 31-bit linear congruential generator."""
+    state = seed
+    while True:
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        yield state
+
+
+def create_bench_table(db: Database) -> None:
+    """The one benchmark table shape every workload runs against."""
+    db.create_table(
+        schema(
+            "bench",
+            ("id", ColumnType.BIGINT, False),
+            ("grp", ColumnType.INTEGER, False),
+            ("val", ColumnType.FLOAT),
+            ("name", ColumnType.VARCHAR, False),
+            primary_key=["id"],
+        )
+    )
+    db.create_index("bench", "bench_grp_ord", ["grp"], ordered=True)
+
+
+def make_db(rows: int) -> Database:
+    """Fresh database with the benchmark table loaded (not measured)."""
+    db = Database(cost=CostModel.calibrated())
+    create_bench_table(db)
+    load_rows(db, rows)
+    return db
+
+
+def row_values(i: int, rand: int) -> tuple:
+    return (i, i % GROUPS, float(rand % 10_007) / 7.0, f"name_{i:08d}")
+
+
+def load_rows(db: Database, rows: int) -> None:
+    rng = lcg()
+    db.executemany(
+        "INSERT INTO bench (id, grp, val, name) VALUES (?, ?, ?, ?)",
+        (row_values(i, next(rng)) for i in range(rows)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workloads — each returns a result dict for the report
+# ---------------------------------------------------------------------------
+
+
+def bench_bulk_insert(rows: int) -> dict:
+    db = Database(cost=CostModel.calibrated())
+    create_bench_table(db)
+    watch = Stopwatch(db.clock)
+    load_rows(db, rows)
+    elapsed = watch.elapsed_us
+    return {
+        "rows": rows,
+        "sim_elapsed_us": elapsed,
+        "rows_per_sec_sim": watch.throughput_per_sec(rows),
+        "plan_cache": db.plan_cache.stats(),
+    }
+
+
+def _run_lookup_workload(db: Database, rows: int, *, sql: str, param_fn,
+                         queries: int, seed: int) -> dict:
+    """One-row-selectivity lookup workload; the SQL text decides the access
+    path (indexed vs. unindexed column)."""
+    db.prepare(sql)  # exclude the cold plan from the per-op average
+    rng = lcg(seed)
+    watch = Stopwatch(db.clock)
+    events_before = db.clock.snapshot_events()
+    hits = 0
+    for _ in range(queries):
+        key = next(rng) % rows
+        result = db.execute(sql, (param_fn(key),))
+        hits += len(result)
+    elapsed = watch.elapsed_us
+    delta = db.clock.snapshot_events() - events_before
+    assert hits == queries, "every lookup must find exactly one row"
+    return {
+        "queries": queries,
+        "rows_returned": hits,
+        "sim_elapsed_us": elapsed,
+        "avg_us_per_query_sim": elapsed / queries,
+        "index_probes": delta.get("index_probes", 0),
+        "rows_scanned": delta.get("rows_scanned", 0),
+    }
+
+
+def bench_point_lookup_index(db: Database, rows: int) -> dict:
+    return _run_lookup_workload(
+        db, rows,
+        sql="SELECT id, grp, val, name FROM bench WHERE id = ?",
+        param_fn=lambda key: key,
+        queries=POINT_QUERIES, seed=7,
+    )
+
+
+def bench_point_lookup_seqscan(db: Database, rows: int) -> dict:
+    # Same one-row selectivity, but ``name`` has no index -> full scan.
+    return _run_lookup_workload(
+        db, rows,
+        sql="SELECT id, grp, val, name FROM bench WHERE name = ?",
+        param_fn=lambda key: f"name_{key:08d}",
+        queries=SEQSCAN_QUERIES, seed=11,
+    )
+
+
+def bench_range_scan(db: Database, rows: int) -> dict:
+    sql = "SELECT id, val FROM bench WHERE grp >= ? AND grp <= ?"
+    db.prepare(sql)
+    rng = lcg(13)
+    watch = Stopwatch(db.clock)
+    events_before = db.clock.snapshot_events()
+    returned = 0
+    for _ in range(RANGE_QUERIES):
+        lo = next(rng) % (GROUPS - 5)
+        result = db.execute(sql, (lo, lo + 4))
+        returned += len(result)
+    elapsed = watch.elapsed_us
+    delta = db.clock.snapshot_events() - events_before
+    return {
+        "queries": RANGE_QUERIES,
+        "rows_returned": returned,
+        "sim_elapsed_us": elapsed,
+        "avg_us_per_query_sim": elapsed / RANGE_QUERIES,
+        "index_probes": delta.get("index_probes", 0),
+        "rows_scanned": delta.get("rows_scanned", 0),
+    }
+
+
+def bench_plan_cache(db: Database, rows: int) -> dict:
+    # Distinct SQL text so the first execution is genuinely cold.
+    sql = "SELECT grp, val FROM bench WHERE id = ?"
+    cache_before = dict(db.plan_cache.stats())
+    t0 = db.clock.now_us
+    db.execute(sql, (1,))
+    cold_us = db.clock.now_us - t0
+
+    t1 = db.clock.now_us
+    rng = lcg(17)
+    for _ in range(CACHE_REPEATS - 1):
+        db.execute(sql, (next(rng) % rows,))
+    warm_us = (db.clock.now_us - t1) / (CACHE_REPEATS - 1)
+
+    cache_after = db.plan_cache.stats()
+    hits = cache_after["hits"] - cache_before["hits"]
+    misses = cache_after["misses"] - cache_before["misses"]
+    return {
+        "repeats": CACHE_REPEATS,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hits / (hits + misses),
+        "cold_exec_us_sim": cold_us,
+        "warm_exec_us_sim": warm_us,
+        "cold_over_warm": cold_us / warm_us if warm_us else float("inf"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def run_benchmarks(rows: int) -> dict:
+    db = make_db(rows)
+    results = {
+        "bulk_insert": bench_bulk_insert(rows),
+        "point_lookup_index": bench_point_lookup_index(db, rows),
+        "point_lookup_seqscan": bench_point_lookup_seqscan(db, rows),
+        "range_scan": bench_range_scan(db, rows),
+        "plan_cache": bench_plan_cache(db, rows),
+    }
+    point = results["point_lookup_index"]["avg_us_per_query_sim"]
+    scan = results["point_lookup_seqscan"]["avg_us_per_query_sim"]
+    report = {
+        "benchmark": "pr1-compile-once-query-pipeline",
+        "table_rows": rows,
+        "cost_model": "calibrated",
+        "results": results,
+        "derived": {
+            "point_vs_scan_speedup": scan / point,
+            "plan_cache_hit_rate": results["plan_cache"]["hit_rate"],
+            "cold_over_warm_plan": results["plan_cache"]["cold_over_warm"],
+        },
+    }
+    return report
+
+
+def check_thresholds(report: dict) -> list[str]:
+    """The PR's acceptance criteria; returns a list of failure messages."""
+    failures = []
+    derived = report["derived"]
+    if report["table_rows"] >= 10_000 and derived["point_vs_scan_speedup"] < 10.0:
+        failures.append(
+            f"point lookup only {derived['point_vs_scan_speedup']:.1f}x cheaper "
+            f"than seq scan (need >= 10x)"
+        )
+    if derived["plan_cache_hit_rate"] < 0.99:
+        failures.append(
+            f"plan cache hit rate {derived['plan_cache_hit_rate']:.4f} < 0.99"
+        )
+    if derived["cold_over_warm_plan"] <= 1.0:
+        failures.append("cache-hit executions are not cheaper than cold plans")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS,
+                        help=f"benchmark table size (default {DEFAULT_ROWS})")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_pr1.json",
+                        help="output JSON path (default: repo-root BENCH_pr1.json)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip acceptance-threshold enforcement")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(args.rows)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    derived = report["derived"]
+    print(f"wrote {args.out}")
+    print(f"  point vs scan speedup : {derived['point_vs_scan_speedup']:.1f}x")
+    print(f"  plan cache hit rate   : {derived['plan_cache_hit_rate']:.4%}")
+    print(f"  cold / warm plan cost : {derived['cold_over_warm_plan']:.1f}x")
+    print(f"  bulk insert           : "
+          f"{report['results']['bulk_insert']['rows_per_sec_sim']:,.0f} rows/s (sim)")
+
+    if not args.no_check:
+        failures = check_thresholds(report)
+        if failures:
+            for f in failures:
+                print(f"THRESHOLD FAILED: {f}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,11 @@ class CostModel:
     sql_stmt_us / sql_row_us / index_probe_us
         Per-statement fixed cost, per-row scan/materialisation cost, and
         per-index-probe cost inside the EE.
+    sql_plan_us / plan_cache_hit_us
+        Cold lex+parse+plan cost of one statement versus the cost of a
+        prepared-statement cache hit.  H-Store plans stored-procedure SQL
+        at deployment time; the gap between these two is the compile-once
+        advantage the plan cache buys on every repeated statement.
     ee_trigger_us / pe_trigger_us
         Firing one execution-engine / partition-engine trigger (§3.2.3).
     window_slide_us
@@ -93,6 +98,8 @@ class CostModel:
     sql_stmt_us: float = 5.0
     sql_row_us: float = 0.05
     index_probe_us: float = 0.5
+    sql_plan_us: float = 75.0
+    plan_cache_hit_us: float = 0.4
     ee_trigger_us: float = 3.0
     pe_trigger_us: float = 5.0
     window_slide_us: float = 4.0

@@ -1,0 +1,7 @@
+"""Engine layer: the :class:`Database` facade and the prepared-statement
+cache that make SQL execution a compile-once, cache-always pipeline."""
+
+from .database import Database
+from .plan_cache import PlanCache
+
+__all__ = ["Database", "PlanCache"]

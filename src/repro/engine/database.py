@@ -1,0 +1,226 @@
+"""The :class:`Database` facade: catalog + clock + plan cache + execution.
+
+This is the single-partition engine front door.  It wires together the
+layers the seed shipped disconnected:
+
+* a :class:`~repro.storage.catalog.Catalog` owning all tables,
+* a :class:`~repro.common.clock.SimClock` / :class:`~repro.common.clock.CostModel`
+  pair converting architectural event counts into deterministic simulated
+  time, and
+* a :class:`~repro.engine.plan_cache.PlanCache` so repeated SQL text skips
+  the lexer, parser, and planner entirely.
+
+Cost accounting per :meth:`execute`:
+
+* plan-cache **miss** → one ``sql_plan`` charge (cold lex+parse+plan);
+* plan-cache **hit** → one (much cheaper) ``plan_cache_hit`` charge;
+* every execution → one ``sql_stmt`` charge, plus per-event charges
+  derived from the :class:`~repro.sql.executor.ExecutionContext` counters:
+  ``rows_scanned`` and each written row at ``sql_row_us``, and
+  ``index_probes`` at ``index_probe_us``.
+
+Event tallies therefore line up one-to-one with the counters the executor
+produces, which is what the tier-1 tests assert on and what the benchmark
+harness turns into throughput numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Optional, Sequence
+
+from ..common.clock import CostModel, SimClock
+from ..common.errors import PlanningError
+from ..sql.executor import AccessGuard, ExecutionContext, ResultSet, WriteObserver
+from ..sql.planner import PreparedStatement, prepare
+from ..storage.catalog import Catalog
+from ..storage.schema import TableSchema
+from ..storage.table import Table
+from .plan_cache import PlanCache
+
+#: (counter name, CostModel attribute charged per occurrence)
+_EXECUTION_CHARGES: tuple[tuple[str, str], ...] = (
+    ("rows_scanned", "sql_row_us"),
+    ("index_probes", "index_probe_us"),
+    ("rows_inserted", "sql_row_us"),
+    ("rows_updated", "sql_row_us"),
+    ("rows_deleted", "sql_row_us"),
+)
+
+
+class Database:
+    """One partition's engine: schema DDL, SQL execution, cost accounting."""
+
+    def __init__(
+        self,
+        *,
+        cost: Optional[CostModel] = None,
+        clock: Optional[SimClock] = None,
+        plan_cache_size: int = 256,
+    ):
+        if cost is not None and clock is not None:
+            raise ValueError(
+                "pass either cost= or clock=, not both (a SimClock carries "
+                "its own CostModel)"
+            )
+        self.clock = clock if clock is not None else SimClock(cost or CostModel.calibrated())
+        self.catalog = Catalog()
+        self.plan_cache = PlanCache(plan_cache_size)
+        #: bumped on every DDL; prepared statements are stamped with it so
+        #: stale plans held across a schema change fail fast (see
+        #: :meth:`execute_prepared`) instead of reading the wrong schema.
+        self.schema_epoch = 0
+        #: lifetime aggregate of per-execution counters
+        self.counters: Counter[str] = Counter()
+        #: counters of the most recent execution (for tests and tooling)
+        self.last_counters: Counter[str] = Counter()
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table; invalidates all cached plans (schema change)."""
+        table = self.catalog.create_table(schema)
+        self._schema_changed()
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self._schema_changed()
+
+    def create_index(
+        self,
+        table_name: str,
+        index_name: str,
+        key_columns: Sequence[str],
+        *,
+        unique: bool = False,
+        ordered: bool = False,
+    ):
+        """Create a secondary index; invalidates cached plans so future
+        statements can pick the new access path."""
+        index = self.catalog.table(table_name).create_index(
+            index_name, key_columns, unique=unique, ordered=ordered
+        )
+        self._schema_changed()
+        return index
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        """Drop an index; invalidates cached plans so statements compiled
+        against it replan onto a different access path.  Always drop
+        indexes through this method, not ``Table.drop_index`` directly —
+        stale cached plans would keep probing the dropped index."""
+        self.catalog.table(table_name).drop_index(index_name)
+        self._schema_changed()
+
+    def _schema_changed(self) -> None:
+        """After any DDL: drop every cached plan and advance the epoch so
+        externally held prepared statements are rejected as stale."""
+        self.plan_cache.clear()
+        self.schema_epoch += 1
+
+    # -- statement preparation -----------------------------------------------
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Fetch the prepared statement for ``sql``, planning it on a cache
+        miss.  A hit charges ``plan_cache_hit_us``; a miss charges the full
+        ``sql_plan_us`` compile cost."""
+        stmt = self.plan_cache.get(sql)
+        if stmt is not None:
+            self.clock.charge_cost("plan_cache_hit")
+            return stmt
+        self.clock.charge_cost("sql_plan")
+        stmt = prepare(sql, self.catalog)
+        stmt.epoch = self.schema_epoch
+        self.plan_cache.put(sql, stmt)
+        return stmt
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        observer: Optional[WriteObserver] = None,
+        guard: Optional[AccessGuard] = None,
+    ) -> ResultSet:
+        """Execute one statement (through the plan cache) and charge costs."""
+        stmt = self.prepare(sql)
+        return self.execute_prepared(stmt, params, observer=observer, guard=guard)
+
+    def execute_prepared(
+        self,
+        stmt: PreparedStatement,
+        params: Sequence[Any] = (),
+        *,
+        observer: Optional[WriteObserver] = None,
+        guard: Optional[AccessGuard] = None,
+    ) -> ResultSet:
+        """Execute an already-prepared statement (no cache interaction).
+
+        Rejects statements prepared before the last schema change — a
+        stale plan could silently read the wrong columns or probe a
+        dropped index.  Re-prepare (or go through :meth:`execute`) after
+        DDL."""
+        if stmt.epoch is not None and stmt.epoch != self.schema_epoch:
+            raise PlanningError(
+                f"prepared statement is stale (schema changed since it was "
+                f"prepared): {stmt.sql!r}; re-prepare it"
+            )
+        ctx = ExecutionContext(self.catalog, params, observer=observer, guard=guard)
+        result = stmt.execute(ctx)
+        self._charge(ctx.counters)
+        self.last_counters = ctx.counters
+        self.counters.update(ctx.counters)
+        return result
+
+    def executemany(
+        self,
+        sql: str,
+        param_rows: Iterable[Sequence[Any]],
+        *,
+        observer: Optional[WriteObserver] = None,
+        guard: Optional[AccessGuard] = None,
+    ) -> int:
+        """Run one statement for each parameter row; returns total rowcount.
+
+        The statement goes through :meth:`prepare` exactly once, so this is
+        the bulk-load fast path the benchmark harness measures.
+        """
+        stmt = self.prepare(sql)
+        total = 0
+        for params in param_rows:
+            result = self.execute_prepared(stmt, params, observer=observer, guard=guard)
+            total += result.rowcount
+        return total
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[dict[str, Any]]:
+        """Convenience: execute and return rows as dicts."""
+        return self.execute(sql, params).to_dicts()
+
+    # -- accounting ------------------------------------------------------------
+
+    def _charge(self, counters: Counter[str]) -> None:
+        cost = self.clock.cost
+        clock = self.clock
+        clock.charge("sql_stmt", cost.sql_stmt_us)
+        for event, attr in _EXECUTION_CHARGES:
+            n = counters.get(event, 0)
+            if n:
+                clock.charge(event, getattr(cost, attr) * n, count=n)
+
+    def stats(self) -> dict[str, Any]:
+        """One snapshot for dashboards/benchmarks: time, events, cache."""
+        return {
+            "sim_time_us": self.clock.now_us,
+            "events": dict(self.clock.events),
+            "counters": dict(self.counters),
+            "plan_cache": self.plan_cache.stats(),
+            "tables": {t.name: t.row_count() for t in self.catalog.tables()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Database(tables={self.catalog.table_names()}, "
+            f"cache={self.plan_cache!r})"
+        )

@@ -1,0 +1,83 @@
+"""LRU cache of prepared statements, keyed by SQL text.
+
+H-Store-style engines execute the same handful of statements millions of
+times (every stored-procedure invocation reuses the procedure's SQL), so
+repeated statements must skip the lexer, parser, and planner entirely.
+The cache is a plain ``OrderedDict`` LRU: a hit moves the entry to the
+MRU end; inserting past capacity evicts the LRU entry.
+
+Hits, misses, and evictions are counted so the benchmark harness can
+report the cache hit rate and tests can assert that a repeated statement
+was planned exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+from ..sql.planner import PreparedStatement
+
+
+class PlanCache:
+    """Bounded LRU mapping ``sql text -> PreparedStatement``."""
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[str, PreparedStatement] = OrderedDict()
+
+    def get(self, sql: str) -> Optional[PreparedStatement]:
+        stmt = self._entries.get(sql)
+        if stmt is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(sql)
+        self.hits += 1
+        return stmt
+
+    def put(self, sql: str, stmt: PreparedStatement) -> None:
+        self._entries[sql] = stmt
+        self._entries.move_to_end(sql)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, sql: str) -> None:
+        self._entries.pop(sql, None)
+
+    def clear(self) -> None:
+        """Drop all entries (schema changes invalidate every plan)."""
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sql: str) -> bool:
+        return sql in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

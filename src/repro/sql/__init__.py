@@ -1,0 +1,25 @@
+"""SQL front-end: lexer → parser → planner → executor.
+
+The public surface most callers want is :func:`prepare` (compile SQL text
+into a reusable :class:`PreparedStatement`) plus the executor's runtime
+types; the :class:`~repro.engine.Database` facade wraps all of this behind
+a prepared-statement cache.
+"""
+
+from .ast import Statement
+from .executor import ExecutionContext, ResultSet
+from .lexer import tokenize
+from .parser import parse, parse_expression
+from .planner import PreparedStatement, plan, prepare
+
+__all__ = [
+    "ExecutionContext",
+    "PreparedStatement",
+    "ResultSet",
+    "Statement",
+    "parse",
+    "parse_expression",
+    "plan",
+    "prepare",
+    "tokenize",
+]

@@ -181,11 +181,15 @@ class SeqScan:
         pred = self.pred
         params = ctx.params
         scanned = 0
-        for rowid, row in table.scan_visible():
-            scanned += 1
-            if pred is None or pred(row, params):
-                yield rowid, row
-        ctx.count("rows_scanned", scanned)
+        # finally, not loop-exit: a LIMIT may close this generator early and
+        # the rows already visited must still be counted (and charged).
+        try:
+            for rowid, row in table.scan_visible():
+                scanned += 1
+                if pred is None or pred(row, params):
+                    yield rowid, row
+        finally:
+            ctx.count("rows_scanned", scanned)
 
 
 class IndexScan:

@@ -459,52 +459,55 @@ def predicate(compiled: Compiled) -> Callable[[Sequence[Any], Sequence[Any]], bo
     return check
 
 
-def substitute(expr: Expr, mapping: dict[Expr, int]) -> Expr:
-    """Replace subexpressions present in ``mapping`` with :class:`SlotRef`.
+def transform(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Structure-preserving top-down rewrite of an expression tree.
 
-    Used by the planner to rewrite projections/HAVING/ORDER BY over grouped
-    rows: group keys and aggregate calls become direct slot references.
-    Matching relies on AST node equality (frozen dataclasses).
+    ``fn`` is offered every node: returning a replacement node substitutes
+    that whole subtree (no further descent); returning ``None`` descends
+    into the children.  The planner builds its column-resolution and
+    grouped-row rewrites on this single walker so the per-node-type
+    recursion lives in exactly one place.
     """
-    if expr in mapping:
-        return SlotRef(mapping[expr])
+    replaced = fn(expr)
+    if replaced is not None:
+        return replaced
     if isinstance(expr, Unary):
-        return Unary(expr.op, substitute(expr.operand, mapping))
+        return Unary(expr.op, transform(expr.operand, fn))
     if isinstance(expr, Binary):
-        return Binary(expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping))
+        return Binary(expr.op, transform(expr.left, fn), transform(expr.right, fn))
     if isinstance(expr, FuncCall):
         return FuncCall(
             expr.name,
-            tuple(substitute(a, mapping) for a in expr.args),
+            tuple(transform(a, fn) for a in expr.args),
             distinct=expr.distinct,
             star=expr.star,
         )
     if isinstance(expr, InList):
         return InList(
-            substitute(expr.expr, mapping),
-            tuple(substitute(i, mapping) for i in expr.items),
+            transform(expr.expr, fn),
+            tuple(transform(i, fn) for i in expr.items),
             negated=expr.negated,
         )
     if isinstance(expr, Between):
         return Between(
-            substitute(expr.expr, mapping),
-            substitute(expr.low, mapping),
-            substitute(expr.high, mapping),
+            transform(expr.expr, fn),
+            transform(expr.low, fn),
+            transform(expr.high, fn),
             negated=expr.negated,
         )
     if isinstance(expr, IsNull):
-        return IsNull(substitute(expr.expr, mapping), negated=expr.negated)
+        return IsNull(transform(expr.expr, fn), negated=expr.negated)
     if isinstance(expr, Like):
         return Like(
-            substitute(expr.expr, mapping),
-            substitute(expr.pattern, mapping),
+            transform(expr.expr, fn),
+            transform(expr.pattern, fn),
             negated=expr.negated,
         )
     if isinstance(expr, Case):
         return Case(
-            tuple(
-                (substitute(c, mapping), substitute(v, mapping)) for c, v in expr.whens
-            ),
-            substitute(expr.else_, mapping) if expr.else_ is not None else None,
+            tuple((transform(c, fn), transform(v, fn)) for c, v in expr.whens),
+            transform(expr.else_, fn) if expr.else_ is not None else None,
         )
     return expr
+
+

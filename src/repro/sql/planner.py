@@ -1,0 +1,1003 @@
+"""Compile-once SQL planner: AST → :class:`PreparedStatement`.
+
+This is the layer H-Store (and therefore S-Store) leans on for its core
+performance premise: a stored procedure's SQL is planned **once** and the
+resulting plan is executed many times with fresh parameters.  Planning does
+all name resolution, expression compilation, and — critically — access-path
+selection up front, so the execution hot path is a chain of precompiled
+Python closures with no AST walking, no string handling, and no dictionary
+lookups per row.
+
+Access-path selection (paper §4.6.3: "a lookup rather than a table scan"):
+
+1. The WHERE clause is split into AND-conjuncts.  A conjunct is *sargable*
+   when it compares a base-table column against a value expression (only
+   literals, parameters, and arithmetic over them — evaluable before the
+   scan starts).
+2. Equality conjuncts are matched against the table's indexes via
+   :meth:`Table.find_equality_index` (exact key-set match, preferring
+   unique indexes) and, failing that, a subset match so a compound
+   predicate can still use a narrower index.  A hit compiles to
+   :class:`~repro.sql.executor.IndexScan`.
+3. Otherwise, range conjuncts (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``)
+   are matched against ordered indexes via
+   :meth:`Table.find_ordered_index`, compiling to
+   :class:`~repro.sql.executor.IndexRangeScan`.
+4. Otherwise the plan falls back to :class:`~repro.sql.executor.SeqScan`.
+
+Conjuncts not consumed by the chosen access path are ANDed into a compiled
+*residual* predicate evaluated per row.  UPDATE and DELETE run the same
+access-path machinery, then **materialise the matching rowids before the
+first mutation** — this is what lets :meth:`Table.scan` iterate without a
+defensive copy.
+
+Entry points: :func:`prepare` (SQL text → prepared statement) and
+:func:`plan` (parsed AST → prepared statement).  Statements are planned
+against a catalog for schema information but re-resolve tables by name at
+run time through the :class:`~repro.sql.executor.ExecutionContext`, so one
+prepared statement works on every partition with the same schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from ..common.errors import PlanningError
+from ..storage.catalog import Catalog
+from ..storage.schema import TableSchema
+from ..storage.table import Table
+from .ast import (
+    AGGREGATE_FUNCTIONS,
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    Delete,
+    Expr,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Statement,
+    Unary,
+    Update,
+    contains_aggregate,
+    max_param_index,
+    walk,
+)
+from .executor import (
+    ExecutionContext,
+    IndexRangeScan,
+    IndexScan,
+    ResultSet,
+    Scan,
+    SeqScan,
+    null_safe_key,
+    sort_rows,
+)
+from .expressions import (
+    Compiled,
+    Scope,
+    SlotRef,
+    compile_expr,
+    predicate,
+    transform,
+)
+from .functions import make_accumulator
+from .parser import parse
+
+#: Scope with no sources: compiles expressions over (params, literals) only.
+#: Column references against it raise PlanningError, which is exactly the
+#: check we want for INSERT VALUES rows, index key expressions, and LIMIT.
+_VALUE_SCOPE = Scope()
+
+Runner = Callable[[ExecutionContext], ResultSet]
+
+
+class PreparedStatement:
+    """An immutable, compiled statement ready for repeated execution.
+
+    Holds the original SQL (the plan-cache key), the statement kind
+    (``select``/``insert``/``update``/``delete``), the number of ``?``
+    parameters the statement requires, the output column names
+    (``columns``; empty for DML — known statically at plan time), and a
+    compiled runner closure.
+
+    ``epoch`` is the one mutable field: the :class:`~repro.engine.Database`
+    facade stamps it with its schema epoch at prepare time so stale plans
+    held across DDL are rejected instead of silently misbehaving.  It is
+    ``None`` for statements planned outside a Database.
+    """
+
+    __slots__ = ("sql", "kind", "param_count", "columns", "epoch", "_runner")
+
+    def __init__(
+        self,
+        sql: str,
+        kind: str,
+        param_count: int,
+        runner: Runner,
+        columns: tuple[str, ...] = (),
+    ):
+        self.sql = sql
+        self.kind = kind
+        self.param_count = param_count
+        self.columns = columns
+        self.epoch: Optional[int] = None
+        self._runner = runner
+
+    def execute(self, ctx: ExecutionContext) -> ResultSet:
+        if len(ctx.params) < self.param_count:
+            raise PlanningError(
+                f"statement requires {self.param_count} parameter(s), "
+                f"got {len(ctx.params)}: {self.sql!r}"
+            )
+        return self._runner(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PreparedStatement({self.kind}, {self.sql!r})"
+
+
+def prepare(sql: str, catalog: Catalog) -> PreparedStatement:
+    """Lex + parse + plan ``sql`` against ``catalog``."""
+    return plan(parse(sql), catalog, sql=sql)
+
+
+def plan(stmt: Statement, catalog: Catalog, *, sql: str = "") -> PreparedStatement:
+    """Compile a parsed statement into a :class:`PreparedStatement`."""
+    if isinstance(stmt, Select):
+        return _plan_select(stmt, catalog, sql)
+    if isinstance(stmt, Insert):
+        return _plan_insert(stmt, catalog, sql)
+    if isinstance(stmt, Update):
+        return _plan_update(stmt, catalog, sql)
+    if isinstance(stmt, Delete):
+        return _plan_delete(stmt, catalog, sql)
+    raise PlanningError(f"cannot plan statement of type {type(stmt).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# WHERE-clause analysis
+# ---------------------------------------------------------------------------
+
+_RANGE_OPS = frozenset({"<", "<=", ">", ">="})
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def split_conjuncts(expr: Optional[Expr]) -> list[Expr]:
+    """Flatten a WHERE tree into its top-level AND-conjuncts."""
+    if expr is None:
+        return []
+    out: list[Expr] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Binary) and node.op == "and":
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            out.append(node)
+    # stack order above preserves left-to-right conjunct order
+    return out
+
+
+def _is_value_expr(expr: Expr) -> bool:
+    """True when ``expr`` references no columns (params/literals only)."""
+    return not any(isinstance(n, (ColumnRef, SlotRef)) for n in walk(expr))
+
+
+def _base_column(expr: Expr, scope: Scope, base_arity: int, schema: TableSchema) -> Optional[str]:
+    """If ``expr`` is a column reference resolving into the base table,
+    return its (lower-cased) column name; else None."""
+    if not isinstance(expr, ColumnRef):
+        return None
+    try:
+        slot = scope.resolve(expr.name, expr.qualifier)
+    except PlanningError:
+        return None
+    if slot >= base_arity:
+        return None
+    return schema.column_names()[slot]
+
+
+class _Sarg:
+    """One classified conjunct."""
+
+    __slots__ = ("kind", "column", "exprs", "conjunct")
+
+    def __init__(self, kind: str, column: Optional[str], exprs: tuple, conjunct: Expr):
+        self.kind = kind          # 'eq' | 'cmp_lo' | 'cmp_hi' | 'between' | 'other'
+        self.column = column
+        self.exprs = exprs        # ('eq': (value,)) ('cmp': (op, value)) ('between': (lo, hi))
+        self.conjunct = conjunct
+
+
+def _classify(conjunct: Expr, scope: Scope, base_arity: int, schema: TableSchema) -> _Sarg:
+    if isinstance(conjunct, Binary) and conjunct.op == "=":
+        col = _base_column(conjunct.left, scope, base_arity, schema)
+        value = conjunct.right
+        if col is None:
+            col = _base_column(conjunct.right, scope, base_arity, schema)
+            value = conjunct.left
+        if col is not None and _is_value_expr(value):
+            return _Sarg("eq", col, (value,), conjunct)
+    elif isinstance(conjunct, Binary) and conjunct.op in _RANGE_OPS:
+        col = _base_column(conjunct.left, scope, base_arity, schema)
+        op, value = conjunct.op, conjunct.right
+        if col is None:
+            col = _base_column(conjunct.right, scope, base_arity, schema)
+            op, value = _FLIP[conjunct.op], conjunct.left
+        if col is not None and _is_value_expr(value):
+            kind = "cmp_lo" if op in (">", ">=") else "cmp_hi"
+            return _Sarg(kind, col, (op, value), conjunct)
+    elif isinstance(conjunct, Between) and not conjunct.negated:
+        col = _base_column(conjunct.expr, scope, base_arity, schema)
+        if col is not None and _is_value_expr(conjunct.low) and _is_value_expr(conjunct.high):
+            return _Sarg("between", col, (conjunct.low, conjunct.high), conjunct)
+    return _Sarg("other", None, (), conjunct)
+
+
+def _choose_equality_index(table: Table, eq_cols: Sequence[str]):
+    """Best index whose key columns are all bound by equality conjuncts —
+    :meth:`Table.find_equality_index` in subset mode, so e.g.
+    ``WHERE pk = ? AND flag = 1`` still probes the primary key."""
+    if not eq_cols:
+        return None
+    return table.find_equality_index(eq_cols, subset=True)
+
+
+def build_scan(
+    where: Optional[Expr],
+    table: Table,
+    scope: Scope,
+    base_arity: int,
+    *,
+    extra_conjuncts: Sequence[Expr] = (),
+) -> Scan:
+    """Pick the physical access path for one table given its WHERE conjuncts.
+
+    ``extra_conjuncts`` are pre-split conjuncts (used by SELECT-with-joins,
+    which pushes only base-table conjuncts down into the scan); ``where``
+    is the raw clause for the single-table statements.  Returns a configured
+    :class:`SeqScan` / :class:`IndexScan` / :class:`IndexRangeScan` whose
+    residual predicate covers every conjunct the access path itself does
+    not guarantee.
+    """
+    schema = table.schema
+    conjuncts = list(extra_conjuncts) if extra_conjuncts else split_conjuncts(where)
+    sargs = [_classify(c, scope, base_arity, schema) for c in conjuncts]
+
+    consumed: set[int] = set()
+
+    # 1. equality index
+    eq_by_col: dict[str, int] = {}  # column -> sarg position (first wins)
+    for i, s in enumerate(sargs):
+        if s.kind == "eq" and s.column not in eq_by_col:
+            eq_by_col[s.column] = i
+    index = _choose_equality_index(table, list(eq_by_col))
+    if index is not None:
+        key_fns = []
+        for col in index.key_columns:
+            pos = eq_by_col[col]
+            key_fns.append(compile_expr(sargs[pos].exprs[0], _VALUE_SCOPE))
+            consumed.add(pos)
+        residual = _compile_residual(sargs, consumed, scope)
+        return IndexScan(table.name, index.name, key_fns, residual)
+
+    # 2. ordered (range) index — first range-eligible column with one
+    for i, s in enumerate(sargs):
+        if s.kind not in ("cmp_lo", "cmp_hi", "between"):
+            continue
+        ordered = table.find_ordered_index(s.column)
+        if ordered is None:
+            continue
+        lo_fn = hi_fn = None
+        lo_inc = hi_inc = True
+        if s.kind == "between":
+            lo_fn = compile_expr(s.exprs[0], _VALUE_SCOPE)
+            hi_fn = compile_expr(s.exprs[1], _VALUE_SCOPE)
+            consumed.add(i)
+        else:
+            for j, other in enumerate(sargs):
+                if other.column != s.column:
+                    continue
+                if other.kind == "cmp_lo" and lo_fn is None:
+                    op, value = other.exprs
+                    lo_fn = compile_expr(value, _VALUE_SCOPE)
+                    lo_inc = op == ">="
+                    consumed.add(j)
+                elif other.kind == "cmp_hi" and hi_fn is None:
+                    op, value = other.exprs
+                    hi_fn = compile_expr(value, _VALUE_SCOPE)
+                    hi_inc = op == "<="
+                    consumed.add(j)
+        residual = _compile_residual(sargs, consumed, scope)
+        return IndexRangeScan(table.name, ordered.name, lo_fn, hi_fn, lo_inc, hi_inc, residual)
+
+    # 3. full scan with everything as residual
+    residual = _compile_residual(sargs, consumed, scope)
+    return SeqScan(table.name, residual)
+
+
+def combine_conjuncts(conjuncts: Sequence[Expr], scope: Scope):
+    """AND pre-split conjuncts back together and compile as a WHERE-style
+    predicate (NULL → not satisfied); None when there is nothing to test."""
+    if not conjuncts:
+        return None
+    combined = conjuncts[0]
+    for c in conjuncts[1:]:
+        combined = Binary("and", combined, c)
+    return predicate(compile_expr(combined, scope))
+
+
+def _compile_residual(sargs: list[_Sarg], consumed: set[int], scope: Scope):
+    return combine_conjuncts(
+        [s.conjunct for i, s in enumerate(sargs) if i not in consumed], scope
+    )
+
+
+# ---------------------------------------------------------------------------
+# SELECT planning
+# ---------------------------------------------------------------------------
+
+
+class _JoinStep:
+    """One nested-loop join step against a named table (no usable index)."""
+
+    __slots__ = ("table_name", "arity", "on_pred", "kind", "_null_pad")
+
+    def __init__(self, table_name: str, arity: int, on_pred, kind: str):
+        self.table_name = table_name
+        self.arity = arity
+        self.on_pred = on_pred
+        self.kind = kind
+        self._null_pad = (None,) * arity
+
+    def apply(self, rows: Iterator[tuple], ctx: ExecutionContext) -> Iterator[tuple]:
+        table = ctx.read_table(self.table_name)
+        on_pred = self.on_pred
+        params = ctx.params
+        left_outer = self.kind == "left"
+        scanned = 0
+        # finally for the same reason as SeqScan: early generator close
+        # (LIMIT) must not lose the rows already visited.
+        try:
+            for left in rows:
+                matched = False
+                for _rowid, right in table.scan_visible():
+                    scanned += 1
+                    combined = left + right
+                    if on_pred is None or on_pred(combined, params):
+                        matched = True
+                        yield combined
+                if left_outer and not matched:
+                    yield left + self._null_pad
+        finally:
+            ctx.count("rows_scanned", scanned)
+
+
+class _IndexJoinStep:
+    """Index-nested-loop join: per outer row, probe an inner-table equality
+    index with key values computed from the outer row, instead of scanning
+    the whole inner table.  Residual ON conjuncts (those not covered by the
+    index key) are evaluated on the combined row."""
+
+    __slots__ = ("table_name", "arity", "index_name", "key_fns", "residual", "kind", "_null_pad")
+
+    def __init__(
+        self,
+        table_name: str,
+        arity: int,
+        index_name: str,
+        key_fns: Sequence[Compiled],
+        residual,
+        kind: str,
+    ):
+        self.table_name = table_name
+        self.arity = arity
+        self.index_name = index_name
+        self.key_fns = tuple(key_fns)
+        self.residual = residual
+        self.kind = kind
+        self._null_pad = (None,) * arity
+
+    def apply(self, rows: Iterator[tuple], ctx: ExecutionContext) -> Iterator[tuple]:
+        table = ctx.read_table(self.table_name)
+        index = table.index(self.index_name)
+        residual = self.residual
+        params = ctx.params
+        left_outer = self.kind == "left"
+        visible = table.is_visible
+        for left in rows:
+            matched = False
+            key = tuple(fn(left, params) for fn in self.key_fns)
+            ctx.count("index_probes")
+            if not any(v is None for v in key):  # col = NULL never matches
+                for rowid in index.lookup(key):
+                    right = table.get(rowid)
+                    if right is None or not visible(right):
+                        continue
+                    ctx.count("rows_scanned")
+                    combined = left + right
+                    if residual is None or residual(combined, params):
+                        matched = True
+                        yield combined
+            if left_outer and not matched:
+                yield left + self._null_pad
+
+
+def _plan_join_step(join, right: Table, right_offset: int, scope: Scope):
+    """Compile one join, preferring an index-nested-loop over the inner table.
+
+    An ON conjunct drives an index when it has the shape
+    ``inner_column = expr-over-earlier-tables``: the inner side resolves
+    into the just-added source, and every column the other side references
+    resolves to a slot *before* it (so the key is computable from the outer
+    row alone).  The widest inner-table equality index covered by such
+    conjuncts wins; everything else stays in the residual ON predicate.
+    """
+    arity = right.schema.arity()
+    if join.on is None:
+        return _JoinStep(right.name, arity, None, join.kind)
+
+    def slot_of(expr) -> Optional[int]:
+        if not isinstance(expr, ColumnRef):
+            return None
+        try:
+            return scope.resolve(expr.name, expr.qualifier)
+        except PlanningError:
+            return None
+
+    def outer_only(expr: Expr) -> bool:
+        for node in walk(expr):
+            if isinstance(node, ColumnRef):
+                slot = slot_of(node)
+                if slot is None or slot >= right_offset:
+                    return False
+            elif isinstance(node, SlotRef):
+                return False
+        return True
+
+    conjuncts = split_conjuncts(join.on)
+    eq_by_col: dict[str, tuple[int, Expr]] = {}  # inner col -> (conjunct pos, outer expr)
+    for i, c in enumerate(conjuncts):
+        if not (isinstance(c, Binary) and c.op == "="):
+            continue
+        for inner_side, outer_side in ((c.left, c.right), (c.right, c.left)):
+            slot = slot_of(inner_side)
+            if slot is None or not right_offset <= slot < right_offset + arity:
+                continue
+            if not outer_only(outer_side):
+                continue
+            col = right.schema.column_names()[slot - right_offset]
+            eq_by_col.setdefault(col, (i, outer_side))
+            break
+
+    index = _choose_equality_index(right, list(eq_by_col))
+    if index is None:
+        return _JoinStep(right.name, arity, predicate(compile_expr(join.on, scope)), join.kind)
+
+    consumed = set()
+    key_fns = []
+    for col in index.key_columns:
+        pos, outer_expr = eq_by_col[col]
+        key_fns.append(compile_expr(outer_expr, scope))
+        consumed.add(pos)
+    residual = combine_conjuncts(
+        [c for i, c in enumerate(conjuncts) if i not in consumed], scope
+    )
+    return _IndexJoinStep(right.name, arity, index.name, key_fns, residual, join.kind)
+
+
+class _AggSpec:
+    """One aggregate call: its argument compiler and accumulator factory."""
+
+    __slots__ = ("call", "arg_fn", "star", "distinct", "name")
+
+    def __init__(self, call: FuncCall, scope: Scope):
+        self.call = call
+        self.name = call.name
+        self.star = call.star
+        self.distinct = call.distinct
+        if call.star:
+            self.arg_fn = None
+        else:
+            if len(call.args) != 1:
+                raise PlanningError(
+                    f"aggregate {call.name.upper()}() takes exactly one argument"
+                )
+            self.arg_fn = compile_expr(call.args[0], scope)
+
+    def fresh(self):
+        return make_accumulator(self.name, star=self.star, distinct=self.distinct)
+
+
+def _resolve_columns(expr: Expr, scope: Scope) -> Expr:
+    """Rewrite every :class:`ColumnRef` into its resolved :class:`SlotRef`.
+
+    Grouped queries match expressions by AST equality (``GROUP BY g`` must
+    cover both ``g`` and ``t.g`` in the select list); resolving columns to
+    slots first makes that matching semantic rather than syntactic.
+    """
+    def resolve(node: Expr) -> Optional[Expr]:
+        if isinstance(node, ColumnRef):
+            return SlotRef(scope.resolve(node.name, node.qualifier))
+        return None
+
+    return transform(expr, resolve)
+
+
+def _collect_aggregates(exprs: Sequence[Optional[Expr]]) -> list[FuncCall]:
+    """Aggregate calls from the given (resolved) expressions, in first-seen
+    order, deduplicated by AST equality."""
+    seen: list[FuncCall] = []
+    for expr in exprs:
+        if expr is None:
+            continue
+        for node in walk(expr):
+            if isinstance(node, FuncCall) and node.name in AGGREGATE_FUNCTIONS:
+                if node not in seen:
+                    seen.append(node)
+    return seen
+
+
+def _rewrite_grouped(expr: Expr, mapping: dict[Expr, int], scope: Scope, what: str) -> Expr:
+    """Rewrite ``expr`` to read the grouped row.
+
+    Subtrees matching a group key or a collected aggregate call — compared
+    by *resolved* AST (see :func:`_resolve_columns`), so ``GROUP BY g``
+    covers both ``g`` and ``t.g`` — become :class:`SlotRef`\\ s into the
+    grouped row.  A column reference outside any matched subtree is the
+    classic ungrouped-column error, reported with the offending name.
+    """
+    def rewrite(node: Expr) -> Optional[Expr]:
+        try:
+            key = _resolve_columns(node, scope)
+        except PlanningError:
+            key = None  # contains an unresolvable column; descend to its leaf
+        if key is not None:
+            slot = mapping.get(key)
+            if slot is not None:
+                return SlotRef(slot)
+        if isinstance(node, ColumnRef):
+            try:
+                scope.resolve(node.name, node.qualifier)
+            except PlanningError as exc:
+                raise PlanningError(f"{what}: {exc}") from None
+            raise PlanningError(
+                f"{what}: column {node.display()!r} must appear in GROUP BY "
+                f"or inside an aggregate"
+            )
+        if isinstance(node, FuncCall) and node.name in AGGREGATE_FUNCTIONS:
+            try:
+                _resolve_columns(node, scope)
+            except PlanningError as exc:
+                raise PlanningError(f"{what}: {exc}") from None
+            raise PlanningError(f"{what}: aggregates cannot be nested")
+        return None
+
+    return transform(expr, rewrite)
+
+
+def _output_name(item: SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias.lower()
+    if isinstance(item.expr, ColumnRef):
+        return item.expr.name.lower()
+    if isinstance(item.expr, FuncCall):
+        return item.expr.name.lower()
+    return f"expr_{position}"
+
+
+def _compile_limit(expr: Optional[Expr], what: str):
+    if expr is None:
+        return None
+    fn = compile_expr(expr, _VALUE_SCOPE)
+
+    def bound(params) -> int:
+        value = fn((), params)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise PlanningError(f"{what} must be a non-negative integer, got {value!r}")
+        return value
+
+    return bound
+
+
+def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
+    param_count = max_param_index(stmt)
+
+    # SELECT without FROM: evaluate the items once against an empty row.
+    if stmt.table is None:
+        if any(item.star for item in stmt.items):
+            raise PlanningError("SELECT * requires a FROM clause")
+        if stmt.group_by or stmt.having is not None or stmt.joins:
+            raise PlanningError("GROUP BY/HAVING/JOIN require a FROM clause")
+        names = tuple(_output_name(item, i) for i, item in enumerate(stmt.items))
+        fns = [compile_expr(item.expr, _VALUE_SCOPE) for item in stmt.items]
+        where_pred = (
+            predicate(compile_expr(stmt.where, _VALUE_SCOPE))
+            if stmt.where is not None
+            else None
+        )
+        const_limit = _compile_limit(stmt.limit, "LIMIT")
+        const_offset = _compile_limit(stmt.offset, "OFFSET")
+
+        def run_const(ctx: ExecutionContext) -> ResultSet:
+            params = ctx.params
+            # WHERE before projection: a false filter must suppress the row
+            # (and any errors its select list would raise).
+            if where_pred is not None and not where_pred((), params):
+                out: list[tuple] = []
+            else:
+                out = [tuple(fn((), params) for fn in fns)]
+            if const_offset is not None:
+                out = out[const_offset(params):]
+            if const_limit is not None:
+                out = out[: const_limit(params)]
+            return ResultSet(names, out)
+
+        return PreparedStatement(sql, "select", param_count, run_const, columns=names)
+
+    # -- resolve FROM sources ------------------------------------------------
+    scope = Scope()
+    base_table = catalog.table(stmt.table.name)
+    base_binding = stmt.table.binding
+    scope.add_source(base_binding, base_table.schema)
+    base_arity = base_table.schema.arity()
+
+    join_steps: list[_JoinStep | _IndexJoinStep] = []
+    for join in stmt.joins:
+        right = catalog.table(join.table.name)
+        right_offset = scope.add_source(join.table.binding, right.schema)
+        if join.on is None and join.kind == "inner":
+            raise PlanningError("INNER JOIN requires an ON condition")
+        join_steps.append(_plan_join_step(join, right, right_offset, scope))
+
+    # -- WHERE: push base-table conjuncts into the scan ----------------------
+    conjuncts = split_conjuncts(stmt.where)
+    if join_steps:
+        base_only, post_join = [], []
+        for c in conjuncts:
+            if all(
+                _base_column(n, scope, base_arity, base_table.schema) is not None
+                for n in walk(c)
+                if isinstance(n, ColumnRef)
+            ):
+                base_only.append(c)
+            else:
+                post_join.append(c)
+    else:
+        base_only, post_join = conjuncts, []
+
+    if any(
+        isinstance(n, FuncCall) and n.name in AGGREGATE_FUNCTIONS
+        for c in conjuncts
+        for n in walk(c)
+    ):
+        raise PlanningError("aggregates are not allowed in WHERE")
+
+    scan = build_scan(None, base_table, scope, base_arity, extra_conjuncts=base_only)
+    post_pred = combine_conjuncts(post_join, scope)
+
+    # -- grouping / aggregation ---------------------------------------------
+    agg_exprs: list[Expr] = [item.expr for item in stmt.items if not item.star]
+    if stmt.having is not None:
+        agg_exprs.append(stmt.having)
+    agg_exprs.extend(o.expr for o in stmt.order_by)
+    grouped = bool(stmt.group_by) or any(contains_aggregate(e) for e in agg_exprs)
+
+    if grouped:
+        if any(item.star for item in stmt.items):
+            raise PlanningError("SELECT * cannot be combined with GROUP BY / aggregates")
+        # Everything is matched in resolved-AST space so that syntactically
+        # different spellings of the same column (``g`` vs ``t.g``) unify.
+        resolved_keys = [_resolve_columns(g, scope) for g in stmt.group_by]
+        resolved_for_aggs = []
+        for e in agg_exprs:
+            try:
+                resolved_for_aggs.append(_resolve_columns(e, scope))
+            except PlanningError:
+                # e.g. an ORDER BY select-list alias; handled by _compile_order
+                continue
+        agg_calls = _collect_aggregates(resolved_for_aggs)
+        key_fns = [compile_expr(g, scope) for g in resolved_keys]
+        agg_specs = [_AggSpec(call, scope) for call in agg_calls]
+        mapping: dict[Expr, int] = {}
+        for i, g in enumerate(resolved_keys):
+            mapping.setdefault(g, i)
+        for i, call in enumerate(agg_calls):
+            mapping[call] = len(resolved_keys) + i
+
+        def over_group(expr: Expr, what: str) -> Compiled:
+            return compile_expr(_rewrite_grouped(expr, mapping, scope, what), _VALUE_SCOPE)
+
+        out_names = tuple(_output_name(item, i) for i, item in enumerate(stmt.items))
+        out_fns = [over_group(item.expr, "select list") for item in stmt.items]
+        having_pred = (
+            predicate(over_group(stmt.having, "HAVING")) if stmt.having is not None else None
+        )
+        order_fns = _compile_order(stmt, out_names, lambda e: over_group(e, "ORDER BY"))
+    else:
+        if stmt.having is not None:
+            raise PlanningError("HAVING requires GROUP BY or an aggregate")
+        out_names_list: list[str] = []
+        out_fns = []
+        for i, item in enumerate(stmt.items):
+            if item.star:
+                if item.star_qualifier:
+                    if item.star_qualifier.lower() not in scope.sources:
+                        raise PlanningError(
+                            f"unknown table or alias {item.star_qualifier!r}"
+                        )
+                    columns = scope.columns_of(item.star_qualifier)
+                else:
+                    columns = scope.all_columns()
+                for name, slot in columns:
+                    out_names_list.append(name)
+                    out_fns.append(compile_expr(SlotRef(slot), scope))
+            else:
+                out_names_list.append(_output_name(item, i))
+                out_fns.append(compile_expr(item.expr, scope))
+        out_names = tuple(out_names_list)
+        having_pred = None
+        key_fns = []
+        agg_specs = []
+        order_fns = _compile_order(stmt, out_names, lambda e: compile_expr(e, scope))
+
+    limit_fn = _compile_limit(stmt.limit, "LIMIT")
+    offset_fn = _compile_limit(stmt.offset, "OFFSET")
+    distinct = stmt.distinct
+    descending = tuple(o.descending for o in stmt.order_by)
+
+    def run(ctx: ExecutionContext) -> ResultSet:
+        params = ctx.params
+        rows: Iterator[tuple] = (row for _rowid, row in scan(ctx))
+        for step in join_steps:
+            rows = step.apply(rows, ctx)
+        if post_pred is not None:
+            rows = (r for r in rows if post_pred(r, params))
+
+        if grouped:
+            groups: dict[tuple, list] = {}
+            for row in rows:
+                key = tuple(fn(row, params) for fn in key_fns)
+                accs = groups.get(key)
+                if accs is None:
+                    accs = [spec.fresh() for spec in agg_specs]
+                    groups[key] = accs
+                for spec, acc in zip(agg_specs, accs):
+                    acc.add(True if spec.star else spec.arg_fn(row, params))
+            if not groups and not key_fns:
+                # global aggregate over an empty input still yields one row
+                groups[()] = [spec.fresh() for spec in agg_specs]
+            source_rows: Iterator[tuple] = (
+                key + tuple(acc.result() for acc in accs)
+                for key, accs in groups.items()
+            )
+            if having_pred is not None:
+                source_rows = (r for r in source_rows if having_pred(r, params))
+        else:
+            source_rows = rows
+
+        seen: Optional[set] = set() if distinct else None
+        if order_fns:
+            pairs: list[tuple[tuple, tuple]] = []
+            for row in source_rows:
+                out = tuple(fn(row, params) for fn in out_fns)
+                if seen is not None:
+                    if out in seen:
+                        continue
+                    seen.add(out)
+                key = tuple(
+                    null_safe_key(out[slot] if is_output else fn(row, params))
+                    for is_output, slot, fn in order_fns
+                )
+                pairs.append((key, out))
+            out_rows = sort_rows(pairs, descending)
+        else:
+            # No ORDER BY: emit directly (no per-row sort-key allocation)
+            # and stop consuming the pipeline once LIMIT+OFFSET rows are
+            # collected — a bounded query must not pay for the whole table.
+            bound = None
+            if limit_fn is not None:
+                bound = limit_fn(params) + (offset_fn(params) if offset_fn is not None else 0)
+            out_rows = []
+            for row in source_rows:
+                out = tuple(fn(row, params) for fn in out_fns)
+                if seen is not None:
+                    if out in seen:
+                        continue
+                    seen.add(out)
+                out_rows.append(out)
+                if bound is not None and len(out_rows) >= bound:
+                    close = getattr(source_rows, "close", None)
+                    if close is not None:
+                        close()  # flush scan counters deterministically
+                    break
+
+        if offset_fn is not None:
+            out_rows = out_rows[offset_fn(params):]
+        if limit_fn is not None:
+            out_rows = out_rows[: limit_fn(params)]
+        return ResultSet(out_names, out_rows)
+
+    return PreparedStatement(sql, "select", param_count, run, columns=out_names)
+
+
+def _compile_order(
+    stmt: Select,
+    out_names: tuple[str, ...],
+    compile_fn: Callable[[Expr], Compiled],
+) -> list[tuple[bool, int, Optional[Compiled]]]:
+    """Compile ORDER BY items.
+
+    Each entry is ``(is_output, slot, fn)``: output-relative keys (select
+    aliases and 1-based ordinals) read slot ``slot`` of the projected row;
+    expression keys evaluate ``fn`` against the pre-projection row.
+    """
+    order: list[tuple[bool, int, Optional[Compiled]]] = []
+    for item in stmt.order_by:
+        expr = item.expr
+        if isinstance(expr, Literal) and isinstance(expr.value, int) and not isinstance(expr.value, bool):
+            ordinal = expr.value
+            if not 1 <= ordinal <= len(out_names):
+                raise PlanningError(
+                    f"ORDER BY position {ordinal} is out of range (1..{len(out_names)})"
+                )
+            order.append((True, ordinal - 1, None))
+            continue
+        if isinstance(expr, ColumnRef) and expr.qualifier is None and expr.name.lower() in out_names:
+            name = expr.name.lower()
+            if out_names.count(name) > 1:
+                raise PlanningError(
+                    f"ORDER BY {name!r} is ambiguous: several output columns "
+                    f"share that name; qualify it or use an ordinal"
+                )
+            order.append((True, out_names.index(name), None))
+            continue
+        order.append((False, -1, compile_fn(expr)))
+    return order
+
+
+# ---------------------------------------------------------------------------
+# INSERT planning
+# ---------------------------------------------------------------------------
+
+
+def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
+    table = catalog.table(stmt.table.name)
+    schema = table.schema
+    param_count = max_param_index(stmt)
+
+    if stmt.columns:
+        target_cols = tuple(c.lower() for c in stmt.columns)
+        for c in target_cols:
+            schema.position(c)  # raises on unknown columns
+        if len(set(target_cols)) != len(target_cols):
+            raise PlanningError(f"duplicate column in INSERT column list: {target_cols}")
+    else:
+        target_cols = schema.column_names()
+
+    table_name = table.name
+    # Plan-time column permutation: target column i of the INSERT lands in
+    # row slot ``slots[i]``; unmentioned columns take their default.  The
+    # hot path then builds each full-width row with list indexing only —
+    # no per-row dict construction (``Table.insert`` still coerces types
+    # and enforces NOT NULL/unique constraints).
+    slots = tuple(schema.position(c) for c in target_cols)
+    defaults = tuple(col.default for col in schema.columns)
+
+    if stmt.select is not None:
+        inner = _plan_select(stmt.select, catalog, sql)
+        if len(inner.columns) != len(target_cols):
+            raise PlanningError(
+                f"INSERT ... SELECT arity mismatch: {len(target_cols)} target "
+                f"column(s), SELECT produces {len(inner.columns)}"
+            )
+
+        def run_insert_select(ctx: ExecutionContext) -> ResultSet:
+            result = inner.execute(ctx)  # materialised — safe for self-insert
+            t = ctx.write_table(table_name)
+            n = 0
+            for row in result.rows:
+                full = list(defaults)
+                for slot, value in zip(slots, row):
+                    full[slot] = value
+                ctx.insert(t, full)
+                n += 1
+            return ResultSet((), [], rowcount=n)
+
+        return PreparedStatement(sql, "insert", param_count, run_insert_select)
+
+    row_fns: list[list[Compiled]] = []
+    for row in stmt.rows:
+        if len(row) != len(target_cols):
+            raise PlanningError(
+                f"INSERT row has {len(row)} value(s), expected {len(target_cols)}"
+            )
+        row_fns.append([compile_expr(e, _VALUE_SCOPE) for e in row])
+
+    def run_insert(ctx: ExecutionContext) -> ResultSet:
+        t = ctx.write_table(table_name)
+        params = ctx.params
+        n = 0
+        for fns in row_fns:
+            full = list(defaults)
+            for slot, fn in zip(slots, fns):
+                full[slot] = fn((), params)
+            ctx.insert(t, full)
+            n += 1
+        return ResultSet((), [], rowcount=n)
+
+    return PreparedStatement(sql, "insert", param_count, run_insert)
+
+
+# ---------------------------------------------------------------------------
+# UPDATE / DELETE planning — index-aware, materialise-then-mutate
+# ---------------------------------------------------------------------------
+
+
+def _plan_update(stmt: Update, catalog: Catalog, sql: str) -> PreparedStatement:
+    table = catalog.table(stmt.table.name)
+    schema = table.schema
+    param_count = max_param_index(stmt)
+
+    scope = Scope()
+    scope.add_source(stmt.table.binding, schema)
+    scan = build_scan(stmt.where, table, scope, schema.arity())
+
+    assignments: list[tuple[int, Compiled]] = []
+    seen_cols: set[int] = set()
+    for a in stmt.assignments:
+        pos = schema.position(a.column)
+        if pos in seen_cols:
+            raise PlanningError(f"column {a.column!r} assigned twice in UPDATE")
+        seen_cols.add(pos)
+        assignments.append((pos, compile_expr(a.value, scope)))
+
+    table_name = table.name
+
+    def run(ctx: ExecutionContext) -> ResultSet:
+        t = ctx.write_table(table_name)
+        params = ctx.params
+        # Materialise matches before the first mutation: Table.scan() hands
+        # out a live iterator over its row dict (see table.py).
+        targets = list(scan(ctx))
+        n = 0
+        for rowid, row in targets:
+            new = list(row)
+            for pos, fn in assignments:
+                new[pos] = fn(row, params)
+            ctx.update(t, rowid, new)
+            n += 1
+        return ResultSet((), [], rowcount=n)
+
+    return PreparedStatement(sql, "update", param_count, run)
+
+
+def _plan_delete(stmt: Delete, catalog: Catalog, sql: str) -> PreparedStatement:
+    table = catalog.table(stmt.table.name)
+    schema = table.schema
+    param_count = max_param_index(stmt)
+
+    scope = Scope()
+    scope.add_source(stmt.table.binding, schema)
+    scan = build_scan(stmt.where, table, scope, schema.arity())
+    table_name = table.name
+
+    def run(ctx: ExecutionContext) -> ResultSet:
+        t = ctx.write_table(table_name)
+        # Same materialise-then-mutate contract as UPDATE.
+        targets = list(scan(ctx))
+        n = 0
+        for rowid, _row in targets:
+            ctx.delete(t, rowid)
+            n += 1
+        return ResultSet((), [], rowcount=n)
+
+    return PreparedStatement(sql, "delete", param_count, run)

@@ -28,16 +28,13 @@ from .schema import TableSchema
 class Table:
     """One in-memory table (also the substrate for streams and windows)."""
 
-    __slots__ = ("schema", "_rows", "_next_rowid", "indexes", "stats")
+    __slots__ = ("schema", "_rows", "_next_rowid", "indexes")
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self._rows: dict[int, tuple] = {}
         self._next_rowid: int = 1
         self.indexes: dict[str, Index] = {}
-        #: mutable counters: rows_scanned / index_probes, read by the EE's
-        #: cost accounting and reset per statement.
-        self.stats = {"rows_scanned": 0, "index_probes": 0}
         if schema.primary_key:
             self.create_index(f"{schema.name}_pkey", schema.primary_key, unique=True)
         for i, key in enumerate(schema.unique_keys):
@@ -93,16 +90,34 @@ class Table:
         except KeyError:
             raise NoSuchIndexError(f"no index {name!r} on table {self.name!r}") from None
 
-    def find_equality_index(self, columns: Iterable[str]) -> Index | None:
-        """An index whose key is exactly ``columns`` (order-insensitive),
-        preferring unique indexes; used by the SQL planner."""
+    def find_equality_index(self, columns: Iterable[str], *, subset: bool = False) -> Index | None:
+        """An index usable for an equality lookup on ``columns``.
+
+        Exact key-set matches win (order-insensitive, preferring unique
+        indexes).  With ``subset=True`` — the SQL planner's mode — an index
+        whose key columns are all *within* ``columns`` also qualifies, so a
+        compound predicate can still probe a narrower index; among subset
+        candidates, unique indexes win, then wider keys.
+        """
         wanted = frozenset(c.lower() for c in columns)
         best: Index | None = None
         for index in self.indexes.values():
             if frozenset(index.key_columns) == wanted:
-                if getattr(index, "unique", False):
+                if index.unique:
                     return index
                 best = best or index
+        if best is not None or not subset:
+            return best
+        for index in self.indexes.values():
+            if not all(c in wanted for c in index.key_columns):
+                continue
+            if best is None:
+                best = index
+                continue
+            better_unique = index.unique and not best.unique
+            wider = len(index.key_columns) > len(best.key_columns)
+            if better_unique or (wider and index.unique == best.unique):
+                best = index
         return best
 
     def find_ordered_index(self, column: str) -> OrderedIndex | None:
@@ -177,10 +192,20 @@ class Table:
             self._next_rowid = rowid + 1
 
     # -- scanning --------------------------------------------------------------
+    #
+    # Scans iterate the row dict directly — no defensive copy — so read-only
+    # scans are allocation-free.  The contract: callers that mutate the table
+    # while consuming a scan (the SQL executor's UPDATE/DELETE paths) must
+    # materialise the scan into a list *before* the first mutation.  The
+    # planner's DML runners do exactly that; see ``repro.sql.planner``.
 
     def scan(self) -> Iterator[tuple[int, tuple]]:
-        """All ``(rowid, row)`` pairs in insertion (arrival) order."""
-        yield from list(self._rows.items())
+        """All ``(rowid, row)`` pairs in insertion (arrival) order.
+
+        Do not insert/delete rows while consuming this iterator; materialise
+        it first (``list(table.scan())``) if you intend to mutate.
+        """
+        yield from self._rows.items()
 
     def is_visible(self, row: tuple) -> bool:
         """Whether SQL queries may see this row.
@@ -191,14 +216,16 @@ class Table:
         return True
 
     def scan_visible(self) -> Iterator[tuple[int, tuple]]:
-        """Like :meth:`scan` but restricted to SQL-visible rows."""
+        """Like :meth:`scan` but restricted to SQL-visible rows (and with the
+        same no-mutation-while-iterating contract)."""
         visible = self.is_visible
-        for rowid, row in list(self._rows.items()):
+        for rowid, row in self._rows.items():
             if visible(row):
                 yield rowid, row
 
     def scan_rows(self) -> Iterator[tuple]:
-        yield from list(self._rows.values())
+        """Row tuples only, insertion order (no-mutation contract as above)."""
+        yield from self._rows.values()
 
     def select_by_index(self, index: Index, key: tuple) -> Iterator[tuple[int, tuple]]:
         for rowid in index.lookup(key):

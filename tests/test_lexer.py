@@ -1,0 +1,61 @@
+"""Lexer round-trips: token kinds, literals, comments, errors."""
+
+import pytest
+
+from repro.common.errors import LexError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def test_keywords_and_identifiers_case_insensitive():
+    tokens = tokenize("SeLeCt Foo FROM bar_baz")
+    assert tokens[0].is_keyword("select")
+    assert tokens[1] == Token(TokenType.IDENT, "foo", 7)
+    assert tokens[2].is_keyword("from")
+    assert tokens[3].value == "bar_baz"
+
+
+def test_numbers_int_float_exponent():
+    assert values("1 42 3.5 .25 1e3 2.5e-2") == [1, 42, 3.5, 0.25, 1000.0, 0.025]
+    assert isinstance(values("7")[0], int)
+    assert isinstance(values("7.0")[0], float)
+
+
+def test_string_literal_with_quote_escape():
+    assert values("'it''s'") == ["it's"]
+    assert values("''") == [""]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("'oops")
+
+
+def test_line_comment_skipped():
+    toks = tokenize("select 1 -- trailing comment\n , 2")
+    assert [t.value for t in toks[:-1]] == ["select", 1, ",", 2]
+
+
+def test_params_and_operators():
+    toks = tokenize("a >= ? and b != ? or c <> 3")
+    ops = [t.value for t in toks if t.type is TokenType.OP]
+    assert ops == [">=", "<>", "<>"]  # != normalised to <>
+    assert sum(1 for t in toks if t.type is TokenType.PARAM) == 2
+
+
+def test_illegal_character():
+    with pytest.raises(LexError):
+        tokenize("select @foo")
+
+
+def test_eof_token_terminates():
+    toks = tokenize("select 1")
+    assert toks[-1].type is TokenType.EOF
+    assert toks[-1].position == len("select 1")

@@ -1,0 +1,135 @@
+"""Parser round-trips: statement shapes, precedence, and error cases."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql.ast import (
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    Delete,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    Param,
+    Select,
+    Unary,
+    Update,
+    max_param_index,
+)
+from repro.sql.parser import parse, parse_expression
+
+
+def test_select_full_clause_set():
+    stmt = parse(
+        "SELECT city, count(*) AS n FROM users WHERE age > 18 "
+        "GROUP BY city HAVING count(*) > 2 ORDER BY n DESC LIMIT 5 OFFSET 1"
+    )
+    assert isinstance(stmt, Select)
+    assert stmt.table.name == "users"
+    assert stmt.items[1].alias == "n"
+    assert stmt.group_by == (ColumnRef("city"),)
+    assert isinstance(stmt.having, Binary)
+    assert stmt.order_by[0].descending is True
+    assert stmt.limit == Literal(5)
+    assert stmt.offset == Literal(1)
+
+
+def test_select_star_and_qualified_star():
+    stmt = parse("SELECT *, u.* FROM users u")
+    assert stmt.items[0].star and stmt.items[0].star_qualifier is None
+    assert stmt.items[1].star and stmt.items[1].star_qualifier == "u"
+    assert stmt.table.alias == "u"
+
+
+def test_joins():
+    stmt = parse(
+        "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y, d"
+    )
+    kinds = [j.kind for j in stmt.joins]
+    assert kinds == ["inner", "left", "cross"]
+    assert stmt.joins[2].on is None
+
+
+def test_insert_multi_row_and_columns():
+    stmt = parse("INSERT INTO t (a, b) VALUES (1, ?), (2, ?)")
+    assert isinstance(stmt, Insert)
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.rows) == 2
+    assert stmt.rows[0] == (Literal(1), Param(0))
+    assert stmt.rows[1][1] == Param(1)
+    assert max_param_index(stmt) == 2
+
+
+def test_insert_select_form():
+    stmt = parse("INSERT INTO t SELECT a FROM s WHERE a > ?")
+    assert stmt.rows == () and stmt.select is not None
+    assert max_param_index(stmt) == 1
+
+
+def test_update_and_delete():
+    stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE id = ?")
+    assert isinstance(stmt, Update)
+    assert stmt.assignments[0].column == "a"
+    assert max_param_index(stmt) == 2
+    stmt = parse("DELETE FROM t WHERE id IN (1, 2, 3)")
+    assert isinstance(stmt, Delete)
+    assert isinstance(stmt.where, InList)
+
+
+def test_precedence_or_and_not_comparison_arith():
+    e = parse_expression("a or b and not c = 1 + 2 * 3")
+    # or(a, and(b, not(c = (1 + (2*3)))))
+    assert e.op == "or"
+    assert e.right.op == "and"
+    inner = e.right.right
+    assert isinstance(inner, Unary) and inner.op == "not"
+    cmp = inner.operand
+    assert cmp.op == "=" and cmp.right.op == "+"
+    assert cmp.right.right.op == "*"
+
+
+def test_negated_predicates():
+    assert parse_expression("a NOT IN (1)").negated
+    assert parse_expression("a NOT BETWEEN 1 AND 2").negated
+    assert parse_expression("a NOT LIKE 'x%'").negated
+    assert parse_expression("a IS NOT NULL") == IsNull(ColumnRef("a"), negated=True)
+    assert isinstance(parse_expression("a BETWEEN ? AND ?"), Between)
+    assert isinstance(parse_expression("a LIKE 'x_'"), Like)
+
+
+def test_case_expression():
+    e = parse_expression("CASE WHEN a = 1 THEN 'one' ELSE 'other' END")
+    assert isinstance(e, Case)
+    assert len(e.whens) == 1 and e.else_ == Literal("other")
+
+
+def test_function_calls_count_star_distinct():
+    assert parse_expression("count(*)") == FuncCall("count", (), star=True)
+    e = parse_expression("count(DISTINCT a)")
+    assert e.distinct and e.args == (ColumnRef("a"),)
+    assert parse_expression("coalesce(a, 0)").name == "coalesce"
+
+
+def test_unary_minus_folds_numeric_literal():
+    assert parse_expression("-5") == Literal(-5)
+    assert parse_expression("-x") == Unary("-", ColumnRef("x"))
+
+
+def test_param_indexes_assigned_left_to_right():
+    stmt = parse("SELECT ? FROM t WHERE a = ? AND b = ?")
+    assert max_param_index(stmt) == 3
+
+
+def test_trailing_semicolon_ok_and_garbage_rejected():
+    parse("SELECT 1;")
+    with pytest.raises(ParseError):
+        parse("SELECT 1 SELECT 2")
+    with pytest.raises(ParseError):
+        parse("FROB THE TABLE")
+    with pytest.raises(ParseError):
+        parse("INSERT INTO t")

@@ -1,0 +1,151 @@
+"""Table constraint enforcement, index maintenance, undo, snapshots."""
+
+import pytest
+
+from repro.common.errors import ConstraintViolation, SchemaError
+from repro.common.types import ColumnType as T
+from repro.storage.schema import schema
+from repro.storage.table import Table
+
+
+def users_table():
+    return Table(
+        schema(
+            "users",
+            ("id", T.BIGINT, False),
+            ("email", T.VARCHAR),
+            ("age", T.INTEGER),
+            primary_key=["id"],
+            unique_keys=[["email"]],
+        )
+    )
+
+
+def test_primary_key_enforced():
+    t = users_table()
+    t.insert((1, "a@x", 30))
+    with pytest.raises(ConstraintViolation):
+        t.insert((1, "b@x", 31))
+    assert t.row_count() == 1  # failed insert left no partial state
+
+
+def test_unique_key_enforced_but_nulls_allowed():
+    t = users_table()
+    t.insert((1, "a@x", 30))
+    with pytest.raises(ConstraintViolation):
+        t.insert((2, "a@x", 31))
+    # NULL is distinct from every value including NULL: multiple NULL emails ok
+    t.insert((2, None, 31))
+    t.insert((3, None, 32))
+    assert t.row_count() == 3
+
+
+def test_not_null_enforced_and_coercion():
+    t = users_table()
+    with pytest.raises(ConstraintViolation):
+        t.insert((None, "a@x", 30))
+    rowid = t.insert(("7", "a@x", "41"))  # strings coerced to ints
+    assert t.get(rowid) == (7, "a@x", 41)
+
+
+def test_update_maintains_indexes():
+    t = users_table()
+    r1 = t.insert((1, "a@x", 30))
+    t.insert((2, "b@x", 31))
+    with pytest.raises(ConstraintViolation):
+        t.update_row(r1, (1, "b@x", 30))  # collides with row 2's email
+    old = t.update_row(r1, (1, "c@x", 33))
+    assert old == (1, "a@x", 30)
+    email_idx = t.find_equality_index(["email"])
+    assert list(email_idx.lookup(("c@x",))) == [r1]
+    assert list(email_idx.lookup(("a@x",))) == []
+
+
+def test_delete_and_restore_row_undo():
+    t = users_table()
+    rowid = t.insert((1, "a@x", 30))
+    old = t.delete_row(rowid)
+    assert old == (1, "a@x", 30)
+    assert t.get(rowid) is None
+    pk = t.find_equality_index(["id"])
+    assert list(pk.lookup((1,))) == []
+
+    t.restore_row(rowid, old)  # undo
+    assert t.get(rowid) == old
+    assert list(pk.lookup((1,))) == [rowid]
+    with pytest.raises(ConstraintViolation):
+        t.restore_row(rowid, old)  # rowid already live
+
+
+def test_rowids_monotonic_never_reused():
+    t = users_table()
+    r1 = t.insert((1, None, 1))
+    t.delete_row(r1)
+    r2 = t.insert((2, None, 2))
+    assert r2 > r1
+
+
+def test_scan_insertion_order():
+    t = users_table()
+    for i in (3, 1, 2):
+        t.insert((i, None, i))
+    assert [row[0] for row in t.scan_rows()] == [3, 1, 2]
+    assert [row[0] for _rid, row in t.scan()] == [3, 1, 2]
+    assert [row[0] for _rid, row in t.scan_visible()] == [3, 1, 2]
+
+
+def test_materialised_scan_survives_mutation():
+    # The scan contract: materialise before mutating (what DML runners do).
+    t = users_table()
+    for i in range(5):
+        t.insert((i, None, i))
+    targets = list(t.scan())
+    for rowid, _row in targets:
+        t.delete_row(rowid)
+    assert t.row_count() == 0
+
+
+def test_find_equality_index_exact_and_subset():
+    t = users_table()
+    # exact match, preferring the unique pk
+    assert t.find_equality_index(["id"]).name == "users_pkey"
+    assert t.find_equality_index(["email"]).name == "users_uniq0"
+    # no exact index on {id, age}: plain lookup misses, subset mode probes pk
+    assert t.find_equality_index(["id", "age"]) is None
+    assert t.find_equality_index(["id", "age"], subset=True).name == "users_pkey"
+    assert t.find_equality_index(["age"], subset=True) is None
+
+
+def test_create_index_backfills_and_rejects_duplicates():
+    t = users_table()
+    t.insert((1, None, 30))
+    t.insert((2, None, 35))
+    idx = t.create_index("users_age", ["age"], ordered=True)
+    assert list(idx.range_scan(30, 35)) == [1, 2]
+    with pytest.raises(SchemaError):
+        t.create_index("users_age", ["age"])
+
+
+def test_snapshot_roundtrip():
+    t = users_table()
+    t.insert((1, "a@x", 30))
+    rid = t.insert((2, "b@x", 31))
+    t.delete_row(rid)
+    state = t.snapshot_state()
+
+    t2 = users_table()
+    t2.load_snapshot_state(state)
+    assert t2.row_count() == 1
+    assert t2.get(1) == (1, "a@x", 30)
+    pk = t2.find_equality_index(["id"])
+    assert list(pk.lookup((1,))) == [1]
+    # next_rowid preserved: new inserts do not collide with old rowids
+    assert t2.insert((3, None, 1)) == 3
+
+
+def test_truncate_clears_rows_and_indexes():
+    t = users_table()
+    t.insert((1, "a@x", 30))
+    assert t.truncate() == 1
+    assert t.row_count() == 0
+    t.insert((1, "a@x", 30))  # pk free again
