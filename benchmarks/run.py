@@ -15,11 +15,20 @@ Workloads
 * ``range_scan``        — ordered-index range queries (IndexRangeScan).
 * ``plan_cache``        — one statement executed R times: cold plan cost
   vs. cache-hit cost and the cache hit rate.
+* ``procedure_call``    — a Voter-style increment stored procedure versus
+  the same two statements as ad-hoc auto-commit SQL (the paper's §2/§3.1
+  stored-procedure-as-transaction premise: pinned compile-once plans plus
+  one transaction boundary instead of two).
+* ``abort_rate``        — explicit multi-statement transactions with a
+  deterministic fraction aborting; measures undo-replay cost and checks
+  that only committed rows survive.
 
-The harness writes ``BENCH_pr1.json`` and (unless ``--no-check``) enforces
-the PR's acceptance thresholds: point lookup ≥ 10× cheaper than the
-equivalent seq scan, plan-cache hit rate ≥ 99% on the repeated-statement
-workload, and cache hits cheaper than cold plans.
+The harness writes ``BENCH_pr2.json`` (override with ``--out``) and
+(unless ``--no-check``) enforces the acceptance thresholds: point lookup
+≥ 10× cheaper than the equivalent seq scan, plan-cache hit rate ≥ 99% on
+the repeated-statement workload, cache hits cheaper than cold plans, the
+procedure path no more expensive than the equivalent ad-hoc auto-commit
+statements, and abort leaving exactly the committed rows behind.
 """
 
 from __future__ import annotations
@@ -44,6 +53,11 @@ SEQSCAN_QUERIES = 50
 RANGE_QUERIES = 200
 CACHE_REPEATS = 5_000
 GROUPS = 100  # distinct values of the ``grp`` column
+VOTE_OPS = 2_000
+CONTESTANTS = 8
+ABORT_TXNS = 1_000
+ABORT_EVERY = 10   # every Nth transaction aborts
+ABORT_BATCH = 5    # statements per transaction
 
 
 def lcg(seed: int = 0x5EED):
@@ -204,6 +218,124 @@ def bench_plan_cache(db: Database, rows: int) -> dict:
     }
 
 
+VOTE_SELECT = "SELECT num_votes FROM votes WHERE contestant_id = ?"
+VOTE_UPDATE = "UPDATE votes SET num_votes = num_votes + 1 WHERE contestant_id = ?"
+
+
+def make_voter_db() -> Database:
+    db = Database(cost=CostModel.calibrated())
+    db.create_table(
+        schema(
+            "votes",
+            ("contestant_id", ColumnType.INTEGER, False),
+            ("num_votes", ColumnType.BIGINT, False),
+            primary_key=["contestant_id"],
+        )
+    )
+    db.executemany(
+        "INSERT INTO votes (contestant_id, num_votes) VALUES (?, ?)",
+        ((c, 0) for c in range(CONTESTANTS)),
+    )
+    return db
+
+
+def bench_procedure_call() -> dict:
+    """Voter-style increment: stored procedure vs. ad-hoc auto-commit SQL.
+
+    Identical logical work per vote (one pk SELECT + one pk UPDATE); the
+    procedure path pays one txn begin/commit and zero plan/cache lookups
+    (pinned statements), the ad-hoc path pays two implicit transactions
+    and two plan-cache hits."""
+    adhoc = make_voter_db()
+    adhoc.prepare(VOTE_SELECT)  # exclude cold plans from both averages
+    adhoc.prepare(VOTE_UPDATE)
+    rng = lcg(19)
+    watch = Stopwatch(adhoc.clock)
+    for _ in range(VOTE_OPS):
+        cid = next(rng) % CONTESTANTS
+        adhoc.execute(VOTE_SELECT, (cid,))
+        adhoc.execute(VOTE_UPDATE, (cid,))
+    adhoc_us = watch.elapsed_us / VOTE_OPS
+
+    proc = make_voter_db()
+
+    @proc.register_procedure("vote")
+    def vote(ctx, contestant_id):
+        ctx.execute(VOTE_UPDATE, (contestant_id,))
+        return ctx.execute(VOTE_SELECT, (contestant_id,)).scalar()
+
+    proc.call("vote", 0)  # warm-up: plans + pins both statements
+    plans_before = proc.clock.events["sql_plan"]
+    rng = lcg(19)
+    watch = Stopwatch(proc.clock)
+    for _ in range(VOTE_OPS):
+        proc.call("vote", next(rng) % CONTESTANTS)
+    proc_us = watch.elapsed_us / VOTE_OPS
+    steady_state_plans = proc.clock.events["sql_plan"] - plans_before
+    votes = proc.execute("SELECT sum(num_votes) FROM votes").scalar()
+    assert votes == VOTE_OPS + 1, "every committed vote must be visible"
+    return {
+        "ops": VOTE_OPS,
+        "adhoc_us_per_vote_sim": adhoc_us,
+        "procedure_us_per_vote_sim": proc_us,
+        "procedure_over_adhoc": proc_us / adhoc_us,
+        "plans_in_steady_state": steady_state_plans,
+        "procedure_calls": proc.stats()["transactions"]["procedure_calls"],
+    }
+
+
+def bench_abort_rate() -> dict:
+    """Multi-statement transactions with every ``ABORT_EVERY``-th aborting:
+    undo-replay cost versus commit cost, plus a consistency check that
+    exactly the committed rows survive."""
+    db = Database(cost=CostModel.calibrated())
+    db.create_table(
+        schema(
+            "ledger",
+            ("id", ColumnType.BIGINT, False),
+            ("amount", ColumnType.FLOAT, False),
+            primary_key=["id"],
+        )
+    )
+    sql = "INSERT INTO ledger (id, amount) VALUES (?, ?)"
+    db.prepare(sql)
+    rng = lcg(23)
+    commit_us = abort_us = 0.0
+    commits = aborts = 0
+    next_id = 0
+    watch = Stopwatch(db.clock)
+    for i in range(ABORT_TXNS):
+        t0 = db.clock.now_us
+        txn = db.begin()
+        for _ in range(ABORT_BATCH):
+            db.execute(sql, (next_id, float(next(rng) % 1000)))
+            next_id += 1
+        if i % ABORT_EVERY == 0:
+            txn.abort()
+            aborts += 1
+            abort_us += db.clock.now_us - t0
+        else:
+            txn.commit()
+            commits += 1
+            commit_us += db.clock.now_us - t0
+    rows_after = db.execute("SELECT count(*) FROM ledger").scalar()
+    return {
+        "transactions": ABORT_TXNS,
+        "statements_per_txn": ABORT_BATCH,
+        "committed": commits,
+        "aborted": aborts,
+        "abort_fraction": aborts / ABORT_TXNS,
+        "avg_commit_txn_us_sim": commit_us / commits,
+        "avg_abort_txn_us_sim": abort_us / aborts,
+        "abort_over_commit": (abort_us / aborts) / (commit_us / commits),
+        "rows_after": rows_after,
+        "rows_expected": commits * ABORT_BATCH,
+        "consistent_after_aborts": rows_after == commits * ABORT_BATCH,
+        "rows_undone": db.clock.events.get("rows_undone", 0),
+        "sim_elapsed_us": watch.elapsed_us,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
@@ -217,11 +349,13 @@ def run_benchmarks(rows: int) -> dict:
         "point_lookup_seqscan": bench_point_lookup_seqscan(db, rows),
         "range_scan": bench_range_scan(db, rows),
         "plan_cache": bench_plan_cache(db, rows),
+        "procedure_call": bench_procedure_call(),
+        "abort_rate": bench_abort_rate(),
     }
     point = results["point_lookup_index"]["avg_us_per_query_sim"]
     scan = results["point_lookup_seqscan"]["avg_us_per_query_sim"]
     report = {
-        "benchmark": "pr1-compile-once-query-pipeline",
+        "benchmark": "pr2-transactional-front-door",
         "table_rows": rows,
         "cost_model": "calibrated",
         "results": results,
@@ -229,6 +363,9 @@ def run_benchmarks(rows: int) -> dict:
             "point_vs_scan_speedup": scan / point,
             "plan_cache_hit_rate": results["plan_cache"]["hit_rate"],
             "cold_over_warm_plan": results["plan_cache"]["cold_over_warm"],
+            "procedure_over_adhoc": results["procedure_call"]["procedure_over_adhoc"],
+            "abort_over_commit": results["abort_rate"]["abort_over_commit"],
+            "abort_consistent": results["abort_rate"]["consistent_after_aborts"],
         },
     }
     return report
@@ -249,6 +386,16 @@ def check_thresholds(report: dict) -> list[str]:
         )
     if derived["cold_over_warm_plan"] <= 1.0:
         failures.append("cache-hit executions are not cheaper than cold plans")
+    if derived["procedure_over_adhoc"] > 1.0:
+        failures.append(
+            f"stored-procedure vote costs {derived['procedure_over_adhoc']:.3f}x "
+            f"the ad-hoc statements (must be <= 1.0x)"
+        )
+    if not derived["abort_consistent"]:
+        failures.append(
+            "abort-rate workload left inconsistent state "
+            "(row count != committed transactions * batch size)"
+        )
     return failures
 
 
@@ -257,8 +404,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rows", type=int, default=DEFAULT_ROWS,
                         help=f"benchmark table size (default {DEFAULT_ROWS})")
     parser.add_argument("--out", type=Path,
-                        default=Path(__file__).resolve().parent.parent / "BENCH_pr1.json",
-                        help="output JSON path (default: repo-root BENCH_pr1.json)")
+                        default=Path(__file__).resolve().parent.parent / "BENCH_pr2.json",
+                        help="output JSON path (default: repo-root BENCH_pr2.json)")
     parser.add_argument("--no-check", action="store_true",
                         help="skip acceptance-threshold enforcement")
     args = parser.parse_args(argv)
@@ -271,6 +418,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  point vs scan speedup : {derived['point_vs_scan_speedup']:.1f}x")
     print(f"  plan cache hit rate   : {derived['plan_cache_hit_rate']:.4%}")
     print(f"  cold / warm plan cost : {derived['cold_over_warm_plan']:.1f}x")
+    print(f"  procedure / ad-hoc    : {derived['procedure_over_adhoc']:.3f}x")
+    print(f"  abort / commit txn    : {derived['abort_over_commit']:.2f}x "
+          f"(consistent: {derived['abort_consistent']})")
     print(f"  bulk insert           : "
           f"{report['results']['bulk_insert']['rows_per_sec_sim']:,.0f} rows/s (sim)")
 

@@ -48,6 +48,12 @@ class CostModel:
     txn_base_us
         Fixed per-transaction-execution overhead: scheduling, begin/commit
         bookkeeping.
+    txn_begin_us / txn_commit_us / txn_abort_us
+        Transaction boundary costs charged by the engine's transactional
+        front door: opening a transaction (explicit ``begin()`` or the
+        implicit wrapper around an auto-commit statement), committing it,
+        and aborting it (the abort additionally charges ``sql_row_us`` per
+        undo-log record replayed, tallied as ``rows_undone`` events).
     pe_ee_rtt_us
         One PE→EE dispatch of a batch of SQL statements (§4.1 calls these
         "execution batches").
@@ -94,6 +100,9 @@ class CostModel:
     client_rtt_us: float = 550.0
     client_submit_us: float = 30.0
     txn_base_us: float = 30.0
+    txn_begin_us: float = 8.0
+    txn_commit_us: float = 12.0
+    txn_abort_us: float = 20.0
     pe_ee_rtt_us: float = 25.0
     sql_stmt_us: float = 5.0
     sql_row_us: float = 0.05

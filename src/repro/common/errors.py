@@ -47,6 +47,11 @@ class NoSuchIndexError(StorageError):
     """The referenced index does not exist."""
 
 
+class NoSuchRowError(StorageError):
+    """The referenced rowid is not present in the table (stale undo record,
+    replay of a corrupt log, or a caller bug)."""
+
+
 class ConstraintViolation(StorageError):
     """A NOT NULL / UNIQUE / PRIMARY KEY constraint was violated."""
 

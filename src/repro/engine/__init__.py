@@ -1,7 +1,22 @@
-"""Engine layer: the :class:`Database` facade and the prepared-statement
-cache that make SQL execution a compile-once, cache-always pipeline."""
+"""Engine layer: the transactional :class:`Database` front door.
+
+All execution flows through explicit transactional scopes — explicit
+``db.transaction()`` blocks, stored-procedure invocations (``db.call``),
+or implicit single-statement transactions — backed by the undo-logging
+:mod:`~repro.engine.transaction` machinery and the compile-once
+:mod:`~repro.engine.plan_cache` / :mod:`~repro.engine.procedure` layers.
+"""
 
 from .database import Database
 from .plan_cache import PlanCache
+from .procedure import ProcedureContext, StoredProcedure
+from .transaction import Transaction, UndoLog
 
-__all__ = ["Database", "PlanCache"]
+__all__ = [
+    "Database",
+    "PlanCache",
+    "ProcedureContext",
+    "StoredProcedure",
+    "Transaction",
+    "UndoLog",
+]

@@ -1,42 +1,70 @@
-"""The :class:`Database` facade: catalog + clock + plan cache + execution.
+"""The :class:`Database` facade: a transactional front door for one partition.
 
-This is the single-partition engine front door.  It wires together the
-layers the seed shipped disconnected:
+This is the engine's public API, redesigned around the paper's central
+claim (§2, §3.1): **all state lives under ACID transactions, and the
+stored procedure is the unit of transaction**.  Every statement executed
+through this facade runs inside a transaction — there is no
+non-transactional path:
 
-* a :class:`~repro.storage.catalog.Catalog` owning all tables,
-* a :class:`~repro.common.clock.SimClock` / :class:`~repro.common.clock.CostModel`
-  pair converting architectural event counts into deterministic simulated
-  time, and
-* a :class:`~repro.engine.plan_cache.PlanCache` so repeated SQL text skips
-  the lexer, parser, and planner entirely.
+* ``with db.transaction(): ...`` / ``txn = db.begin()`` — an explicit
+  transaction; statements executed while it is open join it; commit on
+  clean ``with``-exit (or ``txn.commit()``), undo-log rollback on
+  exception (or ``txn.abort()``).
+* ``db.call(name, *args)`` — a stored-procedure invocation (registered
+  via :meth:`register_procedure`): the whole body is one transaction with
+  compile-once pinned statements; commit on return, rollback on raise.
+* ``db.execute(sql)`` with no transaction open — an **implicit
+  single-statement transaction** (auto-commit).  A statement that fails
+  midway (e.g. a unique violation on row 3 of a multi-row INSERT) leaves
+  no partial writes behind.
 
-Cost accounting per :meth:`execute`:
+The single-partition serial model (§3.1) keeps this strict: at most one
+open transaction, nested ``begin()`` is an error, and DDL inside a
+transaction is rejected.
 
-* plan-cache **miss** → one ``sql_plan`` charge (cold lex+parse+plan);
-* plan-cache **hit** → one (much cheaper) ``plan_cache_hit`` charge;
-* every execution → one ``sql_stmt`` charge, plus per-event charges
-  derived from the :class:`~repro.sql.executor.ExecutionContext` counters:
-  ``rows_scanned`` and each written row at ``sql_row_us``, and
-  ``index_probes`` at ``index_probe_us``.
+Internally every path converges on :meth:`_execute`, which builds the
+:class:`~repro.sql.executor.ExecutionContext` with the open transaction's
+:class:`~repro.engine.transaction.UndoLog` as the write observer and the
+engine's (private) access guard.  Observer and guard are **not** part of
+the public signatures — they are the seams the trigger, window-visibility,
+and command-logging layers plug into.
 
-Event tallies therefore line up one-to-one with the counters the executor
-produces, which is what the tier-1 tests assert on and what the benchmark
-harness turns into throughput numbers.
+Cost accounting per statement (on the deterministic
+:class:`~repro.common.clock.SimClock`):
+
+* plan-cache **miss** → one ``sql_plan`` charge; **hit** → one (much
+  cheaper) ``plan_cache_hit`` charge; a procedure's *pinned* statement →
+  no planning charge at all after the first invocation;
+* every execution → one ``sql_stmt`` charge plus per-event charges from
+  the execution counters (``rows_scanned``/written at ``sql_row_us``,
+  ``index_probes`` at ``index_probe_us``);
+* transaction boundaries → ``txn_begin`` / ``txn_commit`` / ``txn_abort``
+  charges, the abort adding ``sql_row_us`` per undo record replayed
+  (``rows_undone`` events).
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Iterable, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from ..common.clock import CostModel, SimClock
-from ..common.errors import PlanningError
-from ..sql.executor import AccessGuard, ExecutionContext, ResultSet, WriteObserver
+from ..common.errors import (
+    NoSuchProcedureError,
+    PlanningError,
+    ProcedureError,
+    TransactionAborted,
+    TransactionError,
+)
+from ..sql.executor import AccessGuard, ExecutionContext, ResultSet
 from ..sql.planner import PreparedStatement, prepare
 from ..storage.catalog import Catalog
 from ..storage.schema import TableSchema
 from ..storage.table import Table
 from .plan_cache import PlanCache
+from .procedure import ProcedureContext, ProcedureFn, StoredProcedure
+from .transaction import Transaction
 
 #: (counter name, CostModel attribute charged per occurrence)
 _EXECUTION_CHARGES: tuple[tuple[str, str], ...] = (
@@ -47,9 +75,12 @@ _EXECUTION_CHARGES: tuple[tuple[str, str], ...] = (
     ("rows_deleted", "sql_row_us"),
 )
 
+#: keys always present in ``stats()["transactions"]``
+_TXN_STAT_KEYS = ("begun", "committed", "aborted", "implicit", "procedure_calls")
+
 
 class Database:
-    """One partition's engine: schema DDL, SQL execution, cost accounting."""
+    """One partition's engine: DDL, transactions, procedures, accounting."""
 
     def __init__(
         self,
@@ -72,18 +103,29 @@ class Database:
         self.schema_epoch = 0
         #: lifetime aggregate of per-execution counters
         self.counters: Counter[str] = Counter()
-        #: counters of the most recent execution (for tests and tooling)
+        #: counters of the most recent execution — for :meth:`executemany`,
+        #: the aggregate over **all** parameter rows of the batch
         self.last_counters: Counter[str] = Counter()
+        #: transaction life-cycle tallies (begun/committed/aborted/...)
+        self.txn_stats: Counter[str] = Counter()
+        self._txn: Optional[Transaction] = None
+        self._next_txn_id = 1
+        self._procedures: dict[str, StoredProcedure] = {}
+        #: private hook for the window-visibility layer (paper §3.2.2);
+        #: deliberately not exposed through any public signature.
+        self._guard: Optional[AccessGuard] = None
 
     # -- DDL -----------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> Table:
         """Create a table; invalidates all cached plans (schema change)."""
+        self._reject_ddl_in_txn("CREATE TABLE")
         table = self.catalog.create_table(schema)
         self._schema_changed()
         return table
 
     def drop_table(self, name: str) -> None:
+        self._reject_ddl_in_txn("DROP TABLE")
         self.catalog.drop_table(name)
         self._schema_changed()
 
@@ -98,6 +140,7 @@ class Database:
     ):
         """Create a secondary index; invalidates cached plans so future
         statements can pick the new access path."""
+        self._reject_ddl_in_txn("CREATE INDEX")
         index = self.catalog.table(table_name).create_index(
             index_name, key_columns, unique=unique, ordered=ordered
         )
@@ -109,14 +152,159 @@ class Database:
         against it replan onto a different access path.  Always drop
         indexes through this method, not ``Table.drop_index`` directly —
         stale cached plans would keep probing the dropped index."""
+        self._reject_ddl_in_txn("DROP INDEX")
         self.catalog.table(table_name).drop_index(index_name)
         self._schema_changed()
 
+    def _reject_ddl_in_txn(self, what: str) -> None:
+        """DDL is auto-commit only: the undo log records physical row
+        mutations, not schema changes, so DDL cannot be rolled back."""
+        if self._txn is not None:
+            raise TransactionError(
+                f"{what} is not allowed inside a transaction "
+                f"(txn {self._txn.txn_id} is open; DDL is auto-commit only)"
+            )
+
     def _schema_changed(self) -> None:
         """After any DDL: drop every cached plan and advance the epoch so
-        externally held prepared statements are rejected as stale."""
+        externally held prepared statements (and procedure pin tables) are
+        invalidated."""
         self.plan_cache.clear()
         self.schema_epoch += 1
+
+    # -- transactions ----------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open an explicit transaction (single-partition serial model:
+        at most one open transaction; nesting is an error).  The caller
+        owns the handle and must :meth:`~Transaction.commit` or
+        :meth:`~Transaction.abort` it; prefer ``with db.transaction():``
+        which does so automatically."""
+        return self._begin(implicit=False)
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """Scope one transaction: commit on clean exit, abort on exception.
+
+        A transaction already finished inside the block (manual
+        ``txn.abort()``/``txn.commit()``) is left as-is on exit.
+        """
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+        if txn.is_active:
+            txn.commit()
+
+    @contextmanager
+    def _implicit_txn(self) -> Iterator[Transaction]:
+        """Auto-commit scope for one statement (or one batch): begin an
+        implicit transaction, abort on exception, commit on clean exit."""
+        txn = self._begin(implicit=True)
+        try:
+            yield txn
+        except BaseException:
+            txn.abort()
+            raise
+        txn.commit()
+
+    def _begin(self, *, implicit: bool) -> Transaction:
+        if self._txn is not None:
+            raise TransactionError(
+                f"transaction {self._txn.txn_id} is already open "
+                f"(single-partition serial model: one transaction at a time)"
+            )
+        txn = Transaction(self, self._next_txn_id, implicit=implicit)
+        self._next_txn_id += 1
+        self._txn = txn
+        self.clock.charge_cost("txn_begin")
+        self.txn_stats["begun"] += 1
+        if implicit:
+            self.txn_stats["implicit"] += 1
+        return txn
+
+    def _txn_closed(self, txn: Transaction, event: str) -> None:
+        """Called by :class:`Transaction` after commit/abort settles state."""
+        self._txn = None
+        self.clock.charge_cost(event)
+        self.txn_stats["committed" if event == "txn_commit" else "aborted"] += 1
+
+    # -- stored procedures -----------------------------------------------------
+
+    def register_procedure(self, name, fn: Optional[ProcedureFn] = None):
+        """Register ``fn(ctx, *args)`` as stored procedure ``name``.
+
+        Three equivalent forms::
+
+            db.register_procedure("vote", vote_fn)      # direct
+
+            @db.register_procedure("vote")              # named decorator
+            def vote_fn(ctx, contestant_id): ...
+
+            @db.register_procedure                      # bare decorator
+            def vote(ctx, contestant_id): ...           # name = fn.__name__
+
+        Procedure names are case-insensitive and must be unique.
+        """
+        if callable(name) and fn is None:  # bare-decorator form
+            return self.register_procedure(name.__name__, name)
+        if fn is None:
+            def decorate(f: ProcedureFn) -> ProcedureFn:
+                self.register_procedure(name, f)
+                return f
+            return decorate
+        key = name.lower()
+        if key in self._procedures:
+            raise ValueError(f"stored procedure {name!r} is already registered")
+        self._procedures[key] = StoredProcedure(key, fn)
+        return fn
+
+    def call(self, name: str, *args: Any) -> Any:
+        """Invoke a stored procedure as one transaction.
+
+        The body runs with a :class:`ProcedureContext`; its statements use
+        the procedure's pinned compile-once plans.  On return the
+        transaction commits and the body's return value is passed through.
+        On exception the transaction rolls back: :class:`TransactionAborted`
+        (including :class:`UserAbort` from ``ctx.abort()``) propagates
+        unwrapped, any other exception is wrapped in
+        :class:`ProcedureError` with the original as ``__cause__``.
+        """
+        proc = self._procedures.get(name.lower())
+        if proc is None:
+            known = ", ".join(sorted(self._procedures)) or "none"
+            raise NoSuchProcedureError(f"no stored procedure {name!r} (have: {known})")
+        if self._txn is not None:
+            raise TransactionError(
+                f"cannot invoke procedure {name!r}: transaction "
+                f"{self._txn.txn_id} is already open (serial model)"
+            )
+        txn = self._begin(implicit=False)
+        self.txn_stats["procedure_calls"] += 1
+        ctx = ProcedureContext(self, proc, txn)
+        try:
+            result = proc.fn(ctx, *args)
+        except TransactionAborted:
+            if txn.is_active:
+                txn.abort()
+            raise
+        except Exception as exc:
+            if txn.is_active:
+                txn.abort()
+            raise ProcedureError(
+                f"procedure {proc.name!r} failed and was rolled back: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+        if txn.is_active:
+            txn.commit()
+        return result
 
     # -- statement preparation -----------------------------------------------
 
@@ -136,69 +324,110 @@ class Database:
 
     # -- execution -------------------------------------------------------------
 
-    def execute(
-        self,
-        sql: str,
-        params: Sequence[Any] = (),
-        *,
-        observer: Optional[WriteObserver] = None,
-        guard: Optional[AccessGuard] = None,
-    ) -> ResultSet:
-        """Execute one statement (through the plan cache) and charge costs."""
-        stmt = self.prepare(sql)
-        return self.execute_prepared(stmt, params, observer=observer, guard=guard)
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Execute one statement (through the plan cache).
+
+        Joins the open transaction if there is one; otherwise runs as an
+        implicit single-statement transaction (auto-commit)."""
+        return self.execute_prepared(self.prepare(sql), params)
 
     def execute_prepared(
-        self,
-        stmt: PreparedStatement,
-        params: Sequence[Any] = (),
-        *,
-        observer: Optional[WriteObserver] = None,
-        guard: Optional[AccessGuard] = None,
+        self, stmt: PreparedStatement, params: Sequence[Any] = ()
     ) -> ResultSet:
         """Execute an already-prepared statement (no cache interaction).
 
-        Rejects statements prepared before the last schema change — a
-        stale plan could silently read the wrong columns or probe a
-        dropped index.  Re-prepare (or go through :meth:`execute`) after
-        DDL."""
-        if stmt.epoch is not None and stmt.epoch != self.schema_epoch:
-            raise PlanningError(
-                f"prepared statement is stale (schema changed since it was "
-                f"prepared): {stmt.sql!r}; re-prepare it"
-            )
-        ctx = ExecutionContext(self.catalog, params, observer=observer, guard=guard)
-        result = stmt.execute(ctx)
-        self._charge(ctx.counters)
-        self.last_counters = ctx.counters
-        self.counters.update(ctx.counters)
-        return result
+        Same transactional behaviour as :meth:`execute`.  Rejects
+        statements prepared before the last schema change — a stale plan
+        could silently read the wrong columns or probe a dropped index;
+        re-prepare (or go through :meth:`execute`) after DDL."""
+        txn = self._txn
+        if txn is not None:
+            return self._execute(stmt, params, txn)
+        with self._implicit_txn() as txn:
+            return self._execute(stmt, params, txn)
 
-    def executemany(
-        self,
-        sql: str,
-        param_rows: Iterable[Sequence[Any]],
-        *,
-        observer: Optional[WriteObserver] = None,
-        guard: Optional[AccessGuard] = None,
-    ) -> int:
-        """Run one statement for each parameter row; returns total rowcount.
+    def executemany(self, sql: str, param_rows: Iterable[Sequence[Any]]) -> int:
+        """Run one statement per parameter row; returns the total rowcount.
 
         The statement goes through :meth:`prepare` exactly once, so this is
-        the bulk-load fast path the benchmark harness measures.
-        """
+        the bulk-load fast path the benchmark harness measures.  With no
+        transaction open the whole batch is one implicit transaction — a
+        failure anywhere rolls back every row (atomic bulk load).  After the
+        batch, :attr:`last_counters` holds the **aggregate** counters across
+        all parameter rows."""
         stmt = self.prepare(sql)
+        batch: Counter[str] = Counter()
+        txn = self._txn
+        if txn is not None:
+            total = self._execute_batch(stmt, param_rows, txn, batch)
+        else:
+            with self._implicit_txn() as txn:
+                total = self._execute_batch(stmt, param_rows, txn, batch)
+        self.last_counters = batch
+        return total
+
+    def _execute_batch(
+        self,
+        stmt: PreparedStatement,
+        param_rows: Iterable[Sequence[Any]],
+        txn: Transaction,
+        batch: Counter[str],
+    ) -> int:
         total = 0
         for params in param_rows:
-            result = self.execute_prepared(stmt, params, observer=observer, guard=guard)
+            result = self._execute(stmt, params, txn)
             total += result.rowcount
+            batch.update(self.last_counters)
         return total
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[dict[str, Any]]:
         """Convenience: execute and return rows as dicts."""
         return self.execute(sql, params).to_dicts()
 
+    def _execute(
+        self, stmt: PreparedStatement, params: Sequence[Any], txn: Transaction
+    ) -> ResultSet:
+        """The single internal execution path: every statement, from every
+        public entry point, runs here inside ``txn``.
+
+        The transaction's undo log observes all writes; a statement that
+        raises is rolled back to its own savepoint (statement-level
+        atomicity) before the exception propagates, leaving the enclosing
+        transaction consistent and usable."""
+        if txn is not self._txn or not txn.is_active:
+            # e.g. a ProcedureContext that escaped its db.call() scope:
+            # executing on it would write outside any live transaction.
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.state} and is not the "
+                f"database's current transaction; statements must run inside "
+                f"a live transaction scope"
+            )
+        if stmt.epoch is not None and stmt.epoch != self.schema_epoch:
+            raise PlanningError(
+                f"prepared statement is stale (schema changed since it was "
+                f"prepared): {stmt.sql!r}; re-prepare it"
+            )
+        ctx = ExecutionContext(self.catalog, params, observer=txn.undo, guard=self._guard)
+        mark = txn.undo.mark()
+        try:
+            result = stmt.execute(ctx)
+        except BaseException:
+            self._charge_undone(txn.undo.rollback_to(mark))
+            raise
+        self._charge(ctx.counters)
+        self.last_counters = ctx.counters
+        self.counters.update(ctx.counters)
+        return result
+
     # -- accounting ------------------------------------------------------------
+
+    def _charge_undone(self, undone: int) -> None:
+        """Charge the replay cost of ``undone`` undo-log records (statement
+        savepoint rollback and full abort share this accounting)."""
+        if undone:
+            self.clock.charge(
+                "rows_undone", self.clock.cost.sql_row_us * undone, count=undone
+            )
 
     def _charge(self, counters: Counter[str]) -> None:
         cost = self.clock.cost
@@ -210,17 +439,28 @@ class Database:
                 clock.charge(event, getattr(cost, attr) * n, count=n)
 
     def stats(self) -> dict[str, Any]:
-        """One snapshot for dashboards/benchmarks: time, events, cache."""
+        """One snapshot for dashboards/benchmarks: time, events, schema
+        epoch, transaction tallies, cache, tables."""
         return {
             "sim_time_us": self.clock.now_us,
+            "schema_epoch": self.schema_epoch,
             "events": dict(self.clock.events),
             "counters": dict(self.counters),
+            "transactions": {
+                **{key: self.txn_stats.get(key, 0) for key in _TXN_STAT_KEYS},
+                "open": self._txn is not None,
+            },
+            "procedures": {
+                name: proc.pinned_count() for name, proc in sorted(self._procedures.items())
+            },
             "plan_cache": self.plan_cache.stats(),
             "tables": {t.name: t.row_count() for t in self.catalog.tables()},
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        open_txn = self._txn.txn_id if self._txn is not None else None
         return (
             f"Database(tables={self.catalog.table_names()}, "
+            f"procedures={sorted(self._procedures)}, open_txn={open_txn}, "
             f"cache={self.plan_cache!r})"
         )

@@ -1,0 +1,111 @@
+"""Stored procedures: the unit of transaction (paper §2, §3.1).
+
+S-Store's computational model is built on H-Store stored procedures: a
+named body of logic whose SQL is **planned once at registration/first
+invocation** and whose every invocation runs as **exactly one
+transaction** — commit on return, rollback on exception.  This module
+supplies both halves:
+
+* :class:`StoredProcedure` owns the procedure function and a *pin table*
+  of its :class:`~repro.sql.planner.PreparedStatement`\\ s.  The first time
+  a statement text is executed the plan comes from the database's plan
+  cache (charging the usual cold-plan or cache-hit cost); thereafter the
+  pinned plan is used directly with **zero** planning or cache-lookup
+  cost — the H-Store deploy-time-planning behaviour.  A schema-epoch
+  change (any DDL) invalidates the pin table wholesale; statements re-pin
+  lazily through the plan cache on their next execution.
+* :class:`ProcedureContext` is the only capability a procedure body
+  receives: statement execution inside the procedure's transaction, plus
+  an explicit :meth:`~ProcedureContext.abort` escape hatch.  Bodies have
+  the signature ``fn(ctx, *args)``.
+
+Registration and invocation go through the ``Database`` facade::
+
+    @db.register_procedure("vote")
+    def vote(ctx, contestant_id):
+        ctx.execute("UPDATE votes SET n = n + 1 WHERE id = ?", (contestant_id,))
+        return ctx.execute("SELECT n FROM votes WHERE id = ?", (contestant_id,)).scalar()
+
+    db.call("vote", 3)   # one transaction: commit on return, rollback on raise
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..common.errors import UserAbort
+from ..sql.executor import ResultSet
+from ..sql.planner import PreparedStatement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+    from .transaction import Transaction
+
+ProcedureFn = Callable[..., Any]
+
+
+class StoredProcedure:
+    """A registered procedure and its pinned (compile-once) statements."""
+
+    __slots__ = ("name", "fn", "_pinned", "_pinned_epoch")
+
+    def __init__(self, name: str, fn: ProcedureFn):
+        self.name = name
+        self.fn = fn
+        self._pinned: dict[str, PreparedStatement] = {}
+        self._pinned_epoch = -1  # never matches a real epoch: pin lazily
+
+    def statement(self, db: "Database", sql: str) -> PreparedStatement:
+        """The pinned plan for ``sql``, (re-)pinning through the plan cache.
+
+        On a pin-table hit this is a dict lookup — no plan-cache traffic,
+        no clock charge.  After DDL bumps the schema epoch the whole pin
+        table is dropped and each statement re-pins on next use.
+        """
+        if self._pinned_epoch != db.schema_epoch:
+            self._pinned.clear()
+            self._pinned_epoch = db.schema_epoch
+        stmt = self._pinned.get(sql)
+        if stmt is None:
+            stmt = db.prepare(sql)
+            self._pinned[sql] = stmt
+        return stmt
+
+    def pinned_count(self) -> int:
+        return len(self._pinned)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StoredProcedure({self.name!r}, pinned={len(self._pinned)})"
+
+
+class ProcedureContext:
+    """What a procedure body sees: its transaction's statement executor.
+
+    Deliberately narrow — no DDL, no begin/commit/abort of other
+    transactions, no direct catalog access.  Everything executed here runs
+    inside the invocation's transaction and is undone if it aborts.
+    """
+
+    __slots__ = ("_db", "_proc", "txn")
+
+    def __init__(self, db: "Database", proc: StoredProcedure, txn: "Transaction"):
+        self._db = db
+        self._proc = proc
+        self.txn = txn
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Run one of the procedure's statements (pinned plan) in its txn."""
+        stmt = self._proc.statement(self._db, sql)
+        return self._db._execute(stmt, params, self.txn)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[dict[str, Any]]:
+        """Convenience: execute and return rows as dicts."""
+        return self.execute(sql, params).to_dicts()
+
+    def abort(self, message: str = "aborted by stored procedure") -> None:
+        """Abort the invocation: raises :class:`UserAbort`, which rolls the
+        transaction back and propagates (unwrapped) to the caller."""
+        raise UserAbort(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcedureContext({self._proc.name!r}, txn={self.txn.txn_id})"

@@ -1,0 +1,170 @@
+"""Transactions: the undo log and the single-partition serial transaction.
+
+S-Store keeps H-Store's transaction model (paper §3.1): each partition is
+single-threaded and executes transactions **serially**, so there is never
+more than one open transaction per :class:`~repro.engine.Database`, no
+lock manager, and no interleaving to reason about.  What remains of ACID
+on this substrate is atomicity + durability machinery, and atomicity is
+this module: an undo log replayed in reverse on abort.
+
+The :class:`UndoLog` is the engine's implementation of the executor's
+``WriteObserver`` protocol — every physical mutation a statement performs
+(:meth:`ExecutionContext.insert` / ``delete`` / ``update``) is appended as
+one undo record.  Undo is purely physical and uses ``Table``'s reversible
+primitives:
+
+=========  =======================================
+forward    undo
+=========  =======================================
+insert     ``Table.delete_row(rowid)``
+delete     ``Table.restore_row(rowid, old_row)``
+update     ``Table.update_row(rowid, old_row)``
+=========  =======================================
+
+Replaying the records **in reverse order** restores the exact prior
+physical state — data, indexes, and arrival order — which the tests
+assert via ``Catalog.snapshot()`` equality.  Rowids consumed by aborted
+inserts are never reused (``Table._next_rowid`` only moves forward).
+
+:class:`Transaction` is the handle returned by ``Database.begin()`` and
+``with db.transaction():``.  The serial model makes its life cycle strict:
+begin → (statements) → commit | abort, nesting is an error, and DDL inside
+a transaction is rejected.  Boundary costs (``txn_begin_us`` /
+``txn_commit_us`` / ``txn_abort_us``) are charged on the database's
+:class:`~repro.common.clock.SimClock`; an abort additionally charges
+``sql_row_us`` per undo record replayed (``rows_undone`` events).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..common.errors import TransactionError
+from ..storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+
+
+class UndoLog:
+    """Append-only log of physical mutations, replayed in reverse to undo.
+
+    Implements the executor's ``WriteObserver`` protocol; the ``Database``
+    facade installs the open transaction's undo log as the observer of
+    every :class:`~repro.sql.executor.ExecutionContext` it creates.
+    """
+
+    __slots__ = ("_entries",)
+
+    _INSERT = 0
+    _DELETE = 1
+    _UPDATE = 2
+
+    def __init__(self) -> None:
+        #: (kind, table, rowid, old_row-or-None), oldest first
+        self._entries: list[tuple[int, Table, int, Optional[tuple]]] = []
+
+    # -- WriteObserver protocol ----------------------------------------------
+
+    def on_insert(self, table: Table, rowid: int) -> None:
+        self._entries.append((self._INSERT, table, rowid, None))
+
+    def on_delete(self, table: Table, rowid: int, old_row: tuple) -> None:
+        self._entries.append((self._DELETE, table, rowid, old_row))
+
+    def on_update(self, table: Table, rowid: int, old_row: tuple) -> None:
+        self._entries.append((self._UPDATE, table, rowid, old_row))
+
+    # -- replay ----------------------------------------------------------------
+
+    def mark(self) -> int:
+        """Current log position — a statement-level savepoint."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def rollback_to(self, mark: int) -> int:
+        """Undo (and drop) every record past ``mark``, newest first.
+
+        ``mark=0`` undoes the whole transaction; a statement's pre-execution
+        mark undoes just that statement's writes (statement-level atomicity
+        for multi-row DML that fails midway).  Returns the number of records
+        replayed so the caller can charge ``rows_undone``.
+        """
+        undone = 0
+        entries = self._entries
+        while len(entries) > mark:
+            kind, table, rowid, old_row = entries.pop()
+            if kind == self._INSERT:
+                table.delete_row(rowid)
+            elif kind == self._DELETE:
+                table.restore_row(rowid, old_row)
+            else:
+                table.update_row(rowid, old_row)
+            undone += 1
+        return undone
+
+    def clear(self) -> None:
+        """Forget all records (commit: the writes become permanent)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UndoLog({len(self._entries)} records)"
+
+
+class Transaction:
+    """One serial transaction on one partition.
+
+    Obtained from :meth:`Database.begin` (manual commit/abort) or
+    ``with db.transaction():`` (commit on clean exit, abort on exception).
+    Statements executed through the database while the transaction is open
+    — ``db.execute(...)`` and friends — automatically run inside it; there
+    is no per-statement opt-in.
+
+    The handle is single-use: once committed or aborted it cannot be
+    reused, and a new transaction must be begun.
+    """
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    __slots__ = ("txn_id", "undo", "state", "implicit", "_db")
+
+    def __init__(self, db: "Database", txn_id: int, *, implicit: bool = False):
+        self._db = db
+        self.txn_id = txn_id
+        self.undo = UndoLog()
+        self.state = self.ACTIVE
+        #: True for the auto-commit wrapper around a bare ``db.execute()``
+        self.implicit = implicit
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == self.ACTIVE
+
+    def _require_active(self, op: str) -> None:
+        if self.state != self.ACTIVE:
+            raise TransactionError(
+                f"cannot {op} transaction {self.txn_id}: it is already {self.state}"
+            )
+
+    def commit(self) -> None:
+        """Make the transaction's writes permanent and close it."""
+        self._require_active("commit")
+        self.undo.clear()
+        self.state = self.COMMITTED
+        self._db._txn_closed(self, "txn_commit")
+
+    def abort(self) -> None:
+        """Replay the undo log in reverse and close the transaction."""
+        self._require_active("abort")
+        db = self._db
+        db._charge_undone(self.undo.rollback_to(0))
+        self.state = self.ABORTED
+        db._txn_closed(self, "txn_abort")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "implicit" if self.implicit else "explicit"
+        return f"Transaction(id={self.txn_id}, {kind}, {self.state}, undo={len(self.undo)})"

@@ -15,8 +15,8 @@ safely shareable between transaction executions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Optional, Union
 
 # ---------------------------------------------------------------------------
 # Expressions

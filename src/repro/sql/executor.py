@@ -7,9 +7,11 @@ requires an :class:`ExecutionContext`, which carries:
 * the catalog (tables are resolved by name at run time, so one prepared
   statement works on every partition with the same schema),
 * the positional parameter list,
-* a write observer — the engine's transaction undo log,
+* a write observer — the undo log of the transaction the statement runs
+  in (:class:`repro.engine.transaction.UndoLog`; supplied by the
+  ``Database`` facade, never by callers),
 * an access guard — the streaming layer's window-visibility enforcement
-  (paper §3.2.2), and
+  (paper §3.2.2; likewise private engine wiring), and
 * event counters (rows scanned, index probes, rows written) that the
   execution engine converts into simulated-time charges and that tests
   assert on directly.
@@ -22,7 +24,7 @@ trigger notification, and cost accounting see every mutation.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Iterable, Iterator, Optional, Protocol, Sequence
+from typing import Any, Callable, Iterator, Optional, Protocol, Sequence
 
 from ..common.errors import PlanningError
 from ..storage.catalog import Catalog
@@ -46,6 +48,10 @@ AccessGuard = Callable[[Table, str], None]  # (table, "read"|"write") -> None or
 class ResultSet:
     """Query result: named columns plus materialised rows.
 
+    Iterable, sized, indexable, and truthy-on-rows, so callers consume it
+    directly (``for row in result``, ``len(result)``, ``result[0]``)
+    instead of reaching into :attr:`rows`.
+
     DML statements return an empty-column result whose :attr:`rowcount`
     records the number of affected rows (mirroring H-Store's behaviour of
     returning a single-cell VoltTable for DML).
@@ -66,6 +72,9 @@ class ResultSet:
 
     def __bool__(self) -> bool:
         return bool(self.rows)
+
+    def __getitem__(self, i: int) -> tuple:
+        return self.rows[i]
 
     def scalar(self) -> Any:
         """The single value of a single-row, single-column result (or None

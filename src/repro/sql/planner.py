@@ -40,7 +40,7 @@ prepared statement works on every partition with the same schema.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from ..common.errors import PlanningError
 from ..storage.catalog import Catalog

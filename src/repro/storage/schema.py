@@ -11,7 +11,7 @@ columns appended by the streaming layer.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from ..common.errors import ConstraintViolation, NoSuchColumnError, SchemaError

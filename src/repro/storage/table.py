@@ -18,9 +18,14 @@ the same integrity rules.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
-from ..common.errors import ConstraintViolation, NoSuchIndexError, SchemaError
+from ..common.errors import (
+    ConstraintViolation,
+    NoSuchIndexError,
+    NoSuchRowError,
+    SchemaError,
+)
 from .index import HashIndex, Index, OrderedIndex
 from .schema import TableSchema
 
@@ -28,12 +33,15 @@ from .schema import TableSchema
 class Table:
     """One in-memory table (also the substrate for streams and windows)."""
 
-    __slots__ = ("schema", "_rows", "_next_rowid", "indexes")
+    __slots__ = ("schema", "_rows", "_next_rowid", "_order_dirty", "indexes")
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self._rows: dict[int, tuple] = {}
         self._next_rowid: int = 1
+        #: True while out-of-order restores have left the row dict
+        #: unsorted; reconciled lazily by :meth:`_ensure_order`.
+        self._order_dirty = False
         self.indexes: dict[str, Index] = {}
         if schema.primary_key:
             self.create_index(f"{schema.name}_pkey", schema.primary_key, unique=True)
@@ -154,7 +162,9 @@ class Table:
 
     def delete_row(self, rowid: int) -> tuple:
         """Delete by rowid; returns the old row (for undo logging)."""
-        row = self._rows.pop(rowid)
+        row = self._rows.pop(rowid, None)
+        if row is None:
+            raise NoSuchRowError(f"no row {rowid} in table {self.name!r}")
         for index in self.indexes.values():
             key = self.schema.key_of(row, index.key_columns)
             if self._indexable(index, key):
@@ -163,7 +173,9 @@ class Table:
 
     def update_row(self, rowid: int, new_values: Sequence[Any]) -> tuple:
         """Replace the row at ``rowid``; returns the old row (for undo)."""
-        old = self._rows[rowid]
+        old = self._rows.get(rowid)
+        if old is None:
+            raise NoSuchRowError(f"no row {rowid} in table {self.name!r}")
         new = self.schema.coerce_row(new_values)
         self._check_unique(new, ignore_rowid=rowid)
         for index in self.indexes.values():
@@ -179,10 +191,22 @@ class Table:
 
     def restore_row(self, rowid: int, row: tuple) -> None:
         """Re-insert a previously deleted row under its original rowid
-        (undo path; bypasses re-coercion, the row was valid when stored)."""
+        (undo path; bypasses re-coercion, the row was valid when stored).
+
+        Arrival order is part of the physical state (stream tables depend
+        on it), so a restore in the middle of the rowid sequence marks the
+        row dict unsorted; the next scan/snapshot re-sorts it **once** —
+        O(n log n) per rollback batch, not per restored row, and never on
+        the forward hot path."""
         if rowid in self._rows:
             raise ConstraintViolation(f"rowid {rowid} already present in {self.name!r}")
         self._rows[rowid] = row
+        if not self._order_dirty and len(self._rows) > 1:
+            tail = reversed(self._rows)
+            next(tail)  # the rowid just appended
+            prev = next(tail, None)
+            if prev is not None and prev > rowid:
+                self._order_dirty = True
         for index in self.indexes.values():
             key = self.schema.key_of(row, index.key_columns)
             if self._indexable(index, key):
@@ -199,12 +223,20 @@ class Table:
     # materialise the scan into a list *before* the first mutation.  The
     # planner's DML runners do exactly that; see ``repro.sql.planner``.
 
+    def _ensure_order(self) -> None:
+        """Re-sort the row dict if out-of-order restores dirtied it (one
+        cheap flag check on every scan; one sort per rollback batch)."""
+        if self._order_dirty:
+            self._rows = dict(sorted(self._rows.items()))
+            self._order_dirty = False
+
     def scan(self) -> Iterator[tuple[int, tuple]]:
         """All ``(rowid, row)`` pairs in insertion (arrival) order.
 
         Do not insert/delete rows while consuming this iterator; materialise
         it first (``list(table.scan())``) if you intend to mutate.
         """
+        self._ensure_order()
         yield from self._rows.items()
 
     def is_visible(self, row: tuple) -> bool:
@@ -218,6 +250,7 @@ class Table:
     def scan_visible(self) -> Iterator[tuple[int, tuple]]:
         """Like :meth:`scan` but restricted to SQL-visible rows (and with the
         same no-mutation-while-iterating contract)."""
+        self._ensure_order()
         visible = self.is_visible
         for rowid, row in self._rows.items():
             if visible(row):
@@ -225,6 +258,7 @@ class Table:
 
     def scan_rows(self) -> Iterator[tuple]:
         """Row tuples only, insertion order (no-mutation contract as above)."""
+        self._ensure_order()
         yield from self._rows.values()
 
     def select_by_index(self, index: Index, key: tuple) -> Iterator[tuple[int, tuple]]:
@@ -237,6 +271,7 @@ class Table:
         """Delete all rows; returns how many were removed."""
         n = len(self._rows)
         self._rows.clear()
+        self._order_dirty = False
         for index in self.indexes.values():
             index.clear()
         return n
@@ -244,7 +279,12 @@ class Table:
     # -- snapshot support --------------------------------------------------------
 
     def snapshot_state(self) -> dict[str, Any]:
-        """Physical state for checkpointing: rowids, rows, next rowid."""
+        """Physical state for checkpointing: rowids, rows, next rowid.
+
+        Rows are emitted in rowid order — the canonical arrival order — so
+        two tables holding the same rows under the same rowids produce
+        identical snapshots (what the transaction tests compare against)."""
+        self._ensure_order()
         return {
             "next_rowid": self._next_rowid,
             "rows": [[rowid, list(row)] for rowid, row in self._rows.items()],
@@ -254,6 +294,7 @@ class Table:
         """Replace contents from a checkpoint produced by
         :meth:`snapshot_state` (indexes are rebuilt)."""
         self._rows = {int(rowid): tuple(row) for rowid, row in state["rows"]}
+        self._order_dirty = False  # snapshots are emitted in rowid order
         self._next_rowid = int(state["next_rowid"])
         for index in self.indexes.values():
             index.clear()

@@ -166,10 +166,13 @@ def test_execution_charges_follow_counters():
     delta = db.clock.snapshot_events() - events_before
     cost = db.clock.cost
     assert delta["rows_scanned"] == 10
+    assert delta["txn_begin"] == 1 and delta["txn_commit"] == 1
     expected = (
         cost.sql_plan_us  # cold plan
+        + cost.txn_begin_us  # implicit single-statement transaction
         + cost.sql_stmt_us
         + 10 * cost.sql_row_us
+        + cost.txn_commit_us
     )
     assert db.clock.now_us - t0 == pytest.approx(expected)
 
@@ -190,6 +193,59 @@ def test_lifetime_counters_accumulate():
     assert db.counters["rows_inserted"] == 4
     assert db.counters["rows_scanned"] == 8
     assert db.last_counters["rows_scanned"] == 4
+
+
+def test_executemany_last_counters_aggregate_across_rows():
+    # last_counters after a batch is the aggregate, not the final row's.
+    db = fresh_db()
+    n = db.executemany(
+        "INSERT INTO users (id, name, age) VALUES (?, ?, ?)",
+        ((i, f"u{i}", 20 + i) for i in range(7)),
+    )
+    assert n == 7
+    assert db.last_counters["rows_inserted"] == 7
+
+
+def test_failed_multirow_statement_leaves_no_partial_writes():
+    # Statement-level atomicity via the implicit transaction: the first row
+    # of the failing INSERT must be undone, not committed.
+    db = fresh_db()
+    load(db, 1)  # id 0 exists
+    with pytest.raises(ConstraintViolation):
+        db.execute(
+            "INSERT INTO users (id, name, age) VALUES (5, 'a', 1), (0, 'dup', 2)"
+        )
+    assert db.execute("SELECT count(*) FROM users").scalar() == 1
+    assert db.execute("SELECT count(*) FROM users WHERE id = 5").scalar() == 0
+
+
+def test_stats_reports_schema_epoch_and_txn_counters():
+    db = fresh_db()
+    load(db, 2)                       # one implicit txn (the batch)
+    db.execute("SELECT 1")            # another implicit txn
+    with pytest.raises(ConstraintViolation):
+        db.execute("INSERT INTO users (id, name, age) VALUES (0, 'dup', 1)")
+    stats = db.stats()
+    assert stats["schema_epoch"] == db.schema_epoch == 1  # one CREATE TABLE
+    txns = stats["transactions"]
+    assert txns["begun"] == 3
+    assert txns["committed"] == 2
+    assert txns["aborted"] == 1
+    assert txns["implicit"] == 3
+    assert txns["procedure_calls"] == 0
+    assert txns["open"] is False
+
+
+def test_resultset_is_iterable_sized_and_indexable():
+    db = fresh_db()
+    load(db, 3)
+    result = db.execute("SELECT id, name FROM users ORDER BY id")
+    assert len(result) == 3
+    assert bool(result)
+    assert [row[0] for row in result] == [0, 1, 2]
+    assert result[1] == (1, "u1")
+    empty = db.execute("SELECT id FROM users WHERE id = -1")
+    assert not empty and len(empty) == 0
 
 
 # -- misc ---------------------------------------------------------------------

@@ -10,7 +10,6 @@ import pytest
 from repro.common.errors import PlanningError
 from repro.common.types import ColumnType as T
 from repro.sql.executor import ExecutionContext, IndexRangeScan, IndexScan, SeqScan
-from repro.sql.parser import parse
 from repro.sql.planner import prepare, split_conjuncts
 from repro.sql.parser import parse_expression
 from repro.storage.catalog import Catalog

@@ -77,6 +77,28 @@ def test_delete_and_restore_row_undo():
         t.restore_row(rowid, old)  # rowid already live
 
 
+def test_missing_rowid_raises_no_such_row():
+    from repro.common.errors import NoSuchRowError
+
+    t = users_table()
+    with pytest.raises(NoSuchRowError):
+        t.delete_row(99)
+    with pytest.raises(NoSuchRowError):
+        t.update_row(99, (1, "a@x", 30))
+
+
+def test_restore_row_preserves_arrival_order_and_snapshot():
+    t = users_table()
+    rowids = [t.insert((i, f"u{i}@x", 20 + i)) for i in range(4)]
+    before = t.snapshot_state()
+    old = t.delete_row(rowids[1])
+    t.insert((9, "new@x", 99))
+    t.delete_row(rowids[3] + 1)  # remove the row just inserted
+    t.restore_row(rowids[1], old)  # out-of-order restore re-sorts
+    assert [rowid for rowid, _row in t.scan()] == rowids
+    assert t.snapshot_state()["rows"] == before["rows"]
+
+
 def test_rowids_monotonic_never_reused():
     t = users_table()
     r1 = t.insert((1, None, 1))

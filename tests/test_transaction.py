@@ -1,0 +1,245 @@
+"""Transaction life cycle, undo correctness, and boundary cost accounting."""
+
+import pytest
+
+from repro.common.clock import CostModel
+from repro.common.errors import ConstraintViolation, TransactionError
+from repro.common.types import ColumnType as T
+from repro.engine import Database, Transaction, UndoLog
+from repro.storage.schema import schema
+
+
+def fresh_db(cost=None):
+    db = Database(cost=cost if cost is not None else CostModel.free())
+    db.create_table(
+        schema(
+            "accounts",
+            ("id", T.BIGINT, False),
+            ("owner", T.VARCHAR),
+            ("balance", T.INTEGER, False),
+            primary_key=["id"],
+        )
+    )
+    db.create_index("accounts", "accounts_owner", ["owner"])
+    db.executemany(
+        "INSERT INTO accounts (id, owner, balance) VALUES (?, ?, ?)",
+        [(i, f"o{i}", 100 * i) for i in range(5)],
+    )
+    return db
+
+
+# -- life cycle ---------------------------------------------------------------
+
+def test_commit_persists_writes():
+    db = fresh_db()
+    with db.transaction():
+        db.execute("INSERT INTO accounts (id, owner, balance) VALUES (10, 'x', 7)")
+        db.execute("UPDATE accounts SET balance = balance + 1 WHERE id = 0")
+    assert db.execute("SELECT balance FROM accounts WHERE id = 10").scalar() == 7
+    assert db.execute("SELECT balance FROM accounts WHERE id = 0").scalar() == 1
+
+
+def test_nested_begin_rejected():
+    db = fresh_db()
+    txn = db.begin()
+    with pytest.raises(TransactionError, match="already open"):
+        db.begin()
+    with pytest.raises(TransactionError, match="already open"):
+        with db.transaction():
+            pass  # pragma: no cover
+    txn.abort()
+
+
+def test_finished_transaction_is_single_use():
+    db = fresh_db()
+    txn = db.begin()
+    txn.commit()
+    with pytest.raises(TransactionError, match="already committed"):
+        txn.commit()
+    with pytest.raises(TransactionError, match="already committed"):
+        txn.abort()
+    aborted = db.begin()
+    aborted.abort()
+    with pytest.raises(TransactionError, match="already aborted"):
+        aborted.commit()
+
+
+def test_ddl_inside_transaction_rejected():
+    db = fresh_db()
+    with db.transaction():
+        with pytest.raises(TransactionError, match="CREATE TABLE"):
+            db.create_table(schema("t2", ("a", T.INTEGER)))
+        with pytest.raises(TransactionError, match="CREATE INDEX"):
+            db.create_index("accounts", "accounts_bal", ["balance"])
+        with pytest.raises(TransactionError, match="DROP INDEX"):
+            db.drop_index("accounts", "accounts_owner")
+        with pytest.raises(TransactionError, match="DROP TABLE"):
+            db.drop_table("accounts")
+    # outside the transaction DDL works again
+    db.create_index("accounts", "accounts_bal", ["balance"])
+
+
+def test_context_manager_aborts_on_exception_and_propagates():
+    db = fresh_db()
+    with pytest.raises(RuntimeError, match="boom"):
+        with db.transaction():
+            db.execute("DELETE FROM accounts WHERE id = 1")
+            raise RuntimeError("boom")
+    assert db.execute("SELECT count(*) FROM accounts").scalar() == 5
+    assert db.stats()["transactions"]["aborted"] == 1
+
+
+def test_manual_abort_inside_with_block():
+    db = fresh_db()
+    with db.transaction() as txn:
+        db.execute("DELETE FROM accounts")
+        txn.abort()  # exit must not commit (or double-abort)
+    assert txn.state == Transaction.ABORTED
+    assert db.execute("SELECT count(*) FROM accounts").scalar() == 5
+    db.execute("SELECT 1")  # engine is reusable afterwards
+
+
+# -- undo correctness ---------------------------------------------------------
+
+def test_abort_restores_identical_snapshot_after_mixed_dml():
+    db = fresh_db()
+    before = db.catalog.snapshot()
+    txn = db.begin()
+    db.execute("INSERT INTO accounts (id, owner, balance) VALUES (20, 'new', 1)")
+    db.execute("UPDATE accounts SET balance = balance * 3 WHERE id <= 2")
+    db.execute("DELETE FROM accounts WHERE id = 3")
+    db.execute("UPDATE accounts SET owner = 'zzz' WHERE id = 4")
+    db.execute("DELETE FROM accounts WHERE id = 20")  # delete own insert
+    txn.abort()
+    after = db.catalog.snapshot()
+    # byte-identical data: every table's (rowid, row) list is restored exactly
+    assert {n: s["rows"] for n, s in after.items()} == {
+        n: s["rows"] for n, s in before.items()
+    }
+    # ... while the rowid allocator only ever moves forward (no reuse),
+    # so the aborted insert leaves next_rowid advanced past its rowid.
+    assert after["accounts"]["next_rowid"] > before["accounts"]["next_rowid"]
+
+
+def test_abort_without_inserts_restores_full_snapshot():
+    # No new rowids allocated -> even the allocator matches byte-for-byte.
+    db = fresh_db()
+    before = db.catalog.snapshot()
+    with pytest.raises(ZeroDivisionError):
+        with db.transaction():
+            db.execute("UPDATE accounts SET balance = -1 WHERE id >= 2")
+            db.execute("DELETE FROM accounts WHERE id = 0")
+            _ = 1 / 0
+    assert db.catalog.snapshot() == before
+
+
+def test_abort_restores_scan_arrival_order():
+    db = fresh_db()
+    order_before = [r[0] for r in db.execute("SELECT id FROM accounts")]
+    with pytest.raises(ZeroDivisionError):
+        with db.transaction():
+            db.execute("DELETE FROM accounts WHERE id = 2")
+            db.execute("INSERT INTO accounts (id, owner, balance) VALUES (9, 'q', 0)")
+            _ = 1 / 0
+    assert [r[0] for r in db.execute("SELECT id FROM accounts")] == order_before
+
+
+def test_indexes_probe_correctly_after_abort():
+    db = fresh_db(cost=CostModel.calibrated())
+    txn = db.begin()
+    db.execute("DELETE FROM accounts WHERE id = 2")           # pk + owner index
+    db.execute("INSERT INTO accounts (id, owner, balance) VALUES (30, 'o30', 5)")
+    db.execute("UPDATE accounts SET owner = 'moved' WHERE id = 1")
+    txn.abort()
+    # restored row is findable through both indexes again
+    assert db.execute("SELECT balance FROM accounts WHERE id = 2").scalar() == 200
+    assert db.last_counters["index_probes"] == 1
+    assert db.execute("SELECT id FROM accounts WHERE owner = 'o2'").scalar() == 2
+    assert db.last_counters["index_probes"] == 1
+    # aborted insert is gone from the pk index; aborted update is reversed
+    assert len(db.execute("SELECT id FROM accounts WHERE id = 30")) == 0
+    assert db.execute("SELECT id FROM accounts WHERE owner = 'moved'").rows == []
+    assert db.execute("SELECT id FROM accounts WHERE owner = 'o1'").scalar() == 1
+
+
+def test_rowids_never_reused_across_undo():
+    db = fresh_db()
+    table = db.catalog.table("accounts")
+    txn = db.begin()
+    db.execute("INSERT INTO accounts (id, owner, balance) VALUES (40, 'a', 0)")
+    aborted_rowid = max(rowid for rowid, _row in table.scan())
+    txn.abort()
+    db.execute("INSERT INTO accounts (id, owner, balance) VALUES (41, 'b', 0)")
+    new_rowid = max(rowid for rowid, _row in table.scan())
+    assert new_rowid > aborted_rowid
+
+
+def test_statement_failure_rolls_back_statement_not_transaction():
+    db = fresh_db()
+    txn = db.begin()
+    db.execute("INSERT INTO accounts (id, owner, balance) VALUES (50, 'keep', 1)")
+    with pytest.raises(ConstraintViolation):
+        # row (51,...) inserts, then the duplicate id 0 fails: the whole
+        # statement must be undone, the transaction must stay usable.
+        db.execute(
+            "INSERT INTO accounts (id, owner, balance) "
+            "VALUES (51, 'gone', 2), (0, 'dup', 3)"
+        )
+    assert txn.is_active
+    txn.commit()
+    assert db.execute("SELECT count(*) FROM accounts WHERE id = 50").scalar() == 1
+    assert db.execute("SELECT count(*) FROM accounts WHERE id = 51").scalar() == 0
+
+
+def test_undo_log_protocol_and_replay_order():
+    db = fresh_db()
+    table = db.catalog.table("accounts")
+    log = UndoLog()
+    # unique-key swap is only undoable because replay is newest-first
+    rows = {row[0]: rowid for rowid, row in table.scan()}
+    old_a = table.update_row(rows[0], (0, "tmp", 0))
+    log.on_update(table, rows[0], old_a)
+    old_b = table.update_row(rows[1], (1, "o0", 100))  # takes o0 from row a
+    log.on_update(table, rows[1], old_b)
+    assert len(log) == 2
+    assert log.rollback_to(0) == 2
+    assert db.execute("SELECT id FROM accounts WHERE owner = 'o0'").scalar() == 0
+    assert db.execute("SELECT id FROM accounts WHERE owner = 'o1'").scalar() == 1
+
+
+# -- cost accounting ----------------------------------------------------------
+
+def test_txn_boundary_costs_charged():
+    db = fresh_db(cost=CostModel.calibrated())
+    cost = db.clock.cost
+    t0 = db.clock.now_us
+    with db.transaction():
+        pass
+    assert db.clock.now_us - t0 == pytest.approx(cost.txn_begin_us + cost.txn_commit_us)
+
+    before = db.clock.snapshot_events()
+    t1 = db.clock.now_us
+    txn = db.begin()
+    db.execute("DELETE FROM accounts WHERE id = 0")
+    txn.abort()
+    delta = db.clock.snapshot_events() - before
+    assert delta["txn_begin"] == 1 and delta["txn_abort"] == 1
+    assert delta["rows_undone"] == 1
+    assert db.clock.now_us - t1 == pytest.approx(
+        cost.txn_begin_us
+        + cost.sql_plan_us            # cold plan for the DELETE
+        + cost.sql_stmt_us
+        + cost.index_probe_us         # pk probe
+        + cost.sql_row_us             # the scanned row
+        + cost.sql_row_us             # the deleted row
+        + cost.sql_row_us             # the undone row
+        + cost.txn_abort_us
+    )
+
+
+def test_abort_counts_rows_undone_per_record():
+    db = fresh_db(cost=CostModel.calibrated())
+    txn = db.begin()
+    db.execute("UPDATE accounts SET balance = 0")  # 5 updates
+    txn.abort()
+    assert db.clock.events["rows_undone"] == 5
