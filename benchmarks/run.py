@@ -22,13 +22,24 @@ Workloads
 * ``abort_rate``        — explicit multi-statement transactions with a
   deterministic fraction aborting; measures undo-replay cost and checks
   that only committed rows survive.
+* ``streaming_pipeline`` — a Voter-style 3-stage workflow DAG (ingest
+  procedure → owned-sliding-window aggregate → leaderboard ranking) fed
+  atomic batches through ``db.ingest``, with an EE audit trigger on the
+  input stream; measures per-batch pipeline cost, counts EE/PE trigger
+  firings exactly, and bounds the trigger overhead fraction (§3.2.3).
 
-The harness writes ``BENCH_pr2.json`` (override with ``--out``) and
+The harness writes ``BENCH_pr3.json`` (override with ``--out``) and
 (unless ``--no-check``) enforces the acceptance thresholds: point lookup
 ≥ 10× cheaper than the equivalent seq scan, plan-cache hit rate ≥ 99% on
 the repeated-statement workload, cache hits cheaper than cold plans, the
 procedure path no more expensive than the equivalent ad-hoc auto-commit
-statements, and abort leaving exactly the committed rows behind.
+statements, abort leaving exactly the committed rows behind, exact EE/PE
+trigger fire counts on the streaming pipeline with trigger overhead below
+the threshold, and an end-to-end-consistent leaderboard.
+
+``--smoke`` shrinks every workload to tiny row counts for CI: the same
+thresholds are enforced (row-count-gated ones skip themselves), so a perf
+or consistency regression fails the PR without a long benchmark run.
 """
 
 from __future__ import annotations
@@ -58,6 +69,14 @@ CONTESTANTS = 8
 ABORT_TXNS = 1_000
 ABORT_EVERY = 10   # every Nth transaction aborts
 ABORT_BATCH = 5    # statements per transaction
+STREAM_BATCHES = 50        # atomic batches through the pipeline DAG
+STREAM_BATCH_ROWS = 100    # tuples per atomic batch
+TRIGGER_OVERHEAD_MAX = 0.20  # EE+PE trigger time as a fraction of pipeline time
+
+#: ``--smoke`` sizes: tiny row counts so CI enforces thresholds quickly.
+SMOKE_ROWS = 2_000
+SMOKE_STREAM_BATCHES = 8
+SMOKE_STREAM_BATCH_ROWS = 20
 
 
 def lcg(seed: int = 0x5EED):
@@ -336,12 +355,141 @@ def bench_abort_rate() -> dict:
     }
 
 
+def bench_streaming_pipeline(batches: int, batch_rows: int) -> dict:
+    """A Voter-style 3-stage workflow DAG driven by atomic-batch ingest.
+
+    ``raw`` --ingest_votes--> ``votes`` --count_votes--> ``counts``
+    --rank--> ``leaderboard``; ``count_votes`` aggregates over an owned
+    sliding tuple window on ``votes``, and an EE trigger audits every raw
+    batch inside its ingest transaction.  Event counts are exact, so the
+    report asserts the precise number of EE/PE firings and bounds the
+    trigger overhead fraction of total pipeline time.
+    """
+    db = Database(cost=CostModel.calibrated())
+    db.create_stream(
+        schema("raw", ("phone", ColumnType.BIGINT), ("contestant", ColumnType.INTEGER))
+    )
+    db.create_stream(
+        schema("votes", ("phone", ColumnType.BIGINT), ("contestant", ColumnType.INTEGER))
+    )
+    db.create_stream(
+        schema("counts", ("contestant", ColumnType.INTEGER), ("n", ColumnType.INTEGER))
+    )
+    db.create_table(
+        schema(
+            "leaderboard",
+            ("contestant", ColumnType.INTEGER, False),
+            ("total", ColumnType.INTEGER, False),
+            primary_key=["contestant"],
+        )
+    )
+    db.create_table(schema("audit", ("batch", ColumnType.BIGINT)))
+
+    @db.register_procedure
+    def ingest_votes(ctx, batch):
+        ctx.emit("votes", [(p, c) for p, c in batch.rows if 0 <= c < CONTESTANTS])
+
+    @db.register_procedure
+    def count_votes(ctx, batch):
+        counts = ctx.execute(
+            "SELECT contestant, count(*) AS n FROM recent GROUP BY contestant"
+        )
+        ctx.emit("counts", list(counts))
+
+    @db.register_procedure
+    def rank(ctx, batch):
+        for contestant, n in batch.rows:
+            updated = ctx.execute(
+                "UPDATE leaderboard SET total = ? WHERE contestant = ?",
+                (n, contestant),
+            )
+            if updated.rowcount == 0:
+                ctx.execute(
+                    "INSERT INTO leaderboard (contestant, total) VALUES (?, ?)",
+                    (contestant, n),
+                )
+
+    db.create_window(
+        "recent", "votes", size=2 * batch_rows, slide=batch_rows, owner="count_votes"
+    )
+    db.create_ee_trigger(
+        "audit_raw", "raw",
+        lambda ctx, rows: ctx.execute(
+            "INSERT INTO audit (batch) VALUES (?)", (ctx.batch_id,)
+        ),
+    )
+    db.create_workflow(
+        "voter",
+        [
+            ("raw", "ingest_votes", "votes"),
+            ("votes", "count_votes", "counts"),
+            ("counts", "rank", None),
+        ],
+    )
+
+    rng = lcg(29)
+    watch = Stopwatch(db.clock)
+    events_before = db.clock.snapshot_events()
+    for _ in range(batches):
+        db.ingest(
+            "raw",
+            [(next(rng), next(rng) % CONTESTANTS) for _ in range(batch_rows)],
+        )
+    elapsed = watch.elapsed_us
+    delta = db.clock.snapshot_events() - events_before
+    trigger_us = db.clock.charged_us["ee_trigger"] + db.clock.charged_us["pe_trigger"]
+
+    streaming = db.stats()["streaming"]
+    total_rows = batches * batch_rows
+    window_rows = min(total_rows, 2 * batch_rows)  # active rows after the last slide
+    # End-to-end consistency: the leaderboard must reflect the *final*
+    # counts emission exactly (contestants absent from the final window
+    # legitimately keep their last-written totals, so compare per-row
+    # against the last batch, not an aggregate over the whole table).
+    last_counts_batch = db.streaming.streams["counts"].last_committed
+    final_counts = db.execute(
+        "SELECT contestant, n FROM counts WHERE __batch_id__ = ?",
+        (last_counts_batch,),
+    ).rows
+    board = dict(db.execute("SELECT contestant, total FROM leaderboard").rows)
+    counts_total = sum(n for _c, n in final_counts)
+    pipeline_consistent = (
+        last_counts_batch == batches
+        and counts_total == window_rows
+        and all(board.get(c) == n for c, n in final_counts)
+    )
+    return {
+        "batches": batches,
+        "rows_per_batch": batch_rows,
+        "rows_ingested": total_rows,
+        "sim_elapsed_us": elapsed,
+        "avg_us_per_batch_sim": elapsed / batches,
+        "batches_per_sec_sim": watch.throughput_per_sec(batches),
+        "ee_trigger_fires": delta.get("ee_trigger", 0),
+        "pe_trigger_fires": delta.get("pe_trigger", 0),
+        "window_slides": delta.get("window_slide", 0),
+        "trigger_us_sim": trigger_us,
+        "trigger_overhead_frac": trigger_us / elapsed if elapsed else 0.0,
+        "deliveries": streaming["scheduler"]["delivered"],
+        "pending_deliveries": streaming["scheduler"]["pending_deliveries"],
+        "votes_rows": db.execute("SELECT count(*) FROM votes").scalar(),
+        "final_window_rows": window_rows,
+        "final_counts_total": counts_total,
+        "pipeline_consistent": pipeline_consistent,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
 
 
-def run_benchmarks(rows: int) -> dict:
+def run_benchmarks(
+    rows: int,
+    *,
+    stream_batches: int = STREAM_BATCHES,
+    stream_batch_rows: int = STREAM_BATCH_ROWS,
+) -> dict:
     db = make_db(rows)
     results = {
         "bulk_insert": bench_bulk_insert(rows),
@@ -351,11 +499,13 @@ def run_benchmarks(rows: int) -> dict:
         "plan_cache": bench_plan_cache(db, rows),
         "procedure_call": bench_procedure_call(),
         "abort_rate": bench_abort_rate(),
+        "streaming_pipeline": bench_streaming_pipeline(stream_batches, stream_batch_rows),
     }
     point = results["point_lookup_index"]["avg_us_per_query_sim"]
     scan = results["point_lookup_seqscan"]["avg_us_per_query_sim"]
+    pipeline = results["streaming_pipeline"]
     report = {
-        "benchmark": "pr2-transactional-front-door",
+        "benchmark": "pr3-streaming-dataflow",
         "table_rows": rows,
         "cost_model": "calibrated",
         "results": results,
@@ -366,6 +516,9 @@ def run_benchmarks(rows: int) -> dict:
             "procedure_over_adhoc": results["procedure_call"]["procedure_over_adhoc"],
             "abort_over_commit": results["abort_rate"]["abort_over_commit"],
             "abort_consistent": results["abort_rate"]["consistent_after_aborts"],
+            "pipeline_us_per_batch": pipeline["avg_us_per_batch_sim"],
+            "trigger_overhead_frac": pipeline["trigger_overhead_frac"],
+            "pipeline_consistent": pipeline["pipeline_consistent"],
         },
     }
     return report
@@ -396,6 +549,32 @@ def check_thresholds(report: dict) -> list[str]:
             "abort-rate workload left inconsistent state "
             "(row count != committed transactions * batch size)"
         )
+    pipeline = report["results"]["streaming_pipeline"]
+    batches = pipeline["batches"]
+    if pipeline["ee_trigger_fires"] != batches:
+        failures.append(
+            f"EE trigger fired {pipeline['ee_trigger_fires']} times "
+            f"(expected exactly {batches}: one per ingested batch)"
+        )
+    if pipeline["pe_trigger_fires"] != 3 * batches:
+        failures.append(
+            f"PE trigger fired {pipeline['pe_trigger_fires']} times "
+            f"(expected exactly {3 * batches}: one per batch per workflow edge)"
+        )
+    if pipeline["pending_deliveries"] != 0:
+        failures.append(
+            f"{pipeline['pending_deliveries']} workflow deliveries left unprocessed"
+        )
+    if derived["trigger_overhead_frac"] > TRIGGER_OVERHEAD_MAX:
+        failures.append(
+            f"trigger overhead is {derived['trigger_overhead_frac']:.1%} of "
+            f"pipeline time (must be <= {TRIGGER_OVERHEAD_MAX:.0%})"
+        )
+    if not derived["pipeline_consistent"]:
+        failures.append(
+            "streaming pipeline left inconsistent state (leaderboard does "
+            "not match the final counts emission / window contents)"
+        )
     return failures
 
 
@@ -403,17 +582,30 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rows", type=int, default=DEFAULT_ROWS,
                         help=f"benchmark table size (default {DEFAULT_ROWS})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny row counts for CI: same thresholds, "
+                             "fast run (row-count-gated checks skip)")
     parser.add_argument("--out", type=Path,
-                        default=Path(__file__).resolve().parent.parent / "BENCH_pr2.json",
-                        help="output JSON path (default: repo-root BENCH_pr2.json)")
+                        default=Path(__file__).resolve().parent.parent / "BENCH_pr3.json",
+                        help="output JSON path (default: repo-root BENCH_pr3.json)")
     parser.add_argument("--no-check", action="store_true",
                         help="skip acceptance-threshold enforcement")
     args = parser.parse_args(argv)
 
-    report = run_benchmarks(args.rows)
+    if args.smoke:
+        rows = min(args.rows, SMOKE_ROWS)
+        stream_sizes = dict(
+            stream_batches=SMOKE_STREAM_BATCHES,
+            stream_batch_rows=SMOKE_STREAM_BATCH_ROWS,
+        )
+    else:
+        rows = args.rows
+        stream_sizes = {}
+    report = run_benchmarks(rows, **stream_sizes)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     derived = report["derived"]
+    pipeline = report["results"]["streaming_pipeline"]
     print(f"wrote {args.out}")
     print(f"  point vs scan speedup : {derived['point_vs_scan_speedup']:.1f}x")
     print(f"  plan cache hit rate   : {derived['plan_cache_hit_rate']:.4%}")
@@ -423,6 +615,11 @@ def main(argv: list[str] | None = None) -> int:
           f"(consistent: {derived['abort_consistent']})")
     print(f"  bulk insert           : "
           f"{report['results']['bulk_insert']['rows_per_sec_sim']:,.0f} rows/s (sim)")
+    print(f"  pipeline batch cost   : {derived['pipeline_us_per_batch']:.1f} us "
+          f"({pipeline['batches_per_sec_sim']:,.0f} batches/s sim)")
+    print(f"  trigger overhead      : {derived['trigger_overhead_frac']:.2%} "
+          f"(ee={pipeline['ee_trigger_fires']}, pe={pipeline['pe_trigger_fires']}, "
+          f"consistent: {derived['pipeline_consistent']})")
 
     if not args.no_check:
         failures = check_thresholds(report)

@@ -54,14 +54,20 @@ from ..common.errors import (
     NoSuchProcedureError,
     PlanningError,
     ProcedureError,
+    SchemaError,
     TransactionAborted,
     TransactionError,
 )
-from ..sql.executor import AccessGuard, ExecutionContext, ResultSet
+from ..sql.executor import ExecutionContext, ResultSet
 from ..sql.planner import PreparedStatement, prepare
 from ..storage.catalog import Catalog
-from ..storage.schema import TableSchema
+from ..storage.schema import TableKind, TableSchema
 from ..storage.table import Table
+from ..streaming.runtime import StreamingRuntime
+from ..streaming.stream import Stream
+from ..streaming.trigger import EETrigger, PETrigger
+from ..streaming.window import Window
+from ..streaming.workflow import Workflow
 from .plan_cache import PlanCache
 from .procedure import ProcedureContext, ProcedureFn, StoredProcedure
 from .transaction import Transaction
@@ -111,23 +117,136 @@ class Database:
         self._txn: Optional[Transaction] = None
         self._next_txn_id = 1
         self._procedures: dict[str, StoredProcedure] = {}
-        #: private hook for the window-visibility layer (paper §3.2.2);
-        #: deliberately not exposed through any public signature.
-        self._guard: Optional[AccessGuard] = None
+        #: name of the stored procedure whose invocation is currently on the
+        #: stack (window-visibility checks key off this); None for ad-hoc SQL
+        self._current_proc: Optional[str] = None
+        #: the streaming layer (paper §3.2): streams, windows, triggers,
+        #: workflow DAGs, and the batch-ordered delivery scheduler
+        self.streaming = StreamingRuntime(self)
+        #: the executor's access-guard hook, occupied by the streaming
+        #: layer's visibility/DML rules; deliberately not exposed through
+        #: any public signature.
+        self._guard = self.streaming.guard
 
     # -- DDL -----------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> Table:
         """Create a table; invalidates all cached plans (schema change)."""
         self._reject_ddl_in_txn("CREATE TABLE")
+        if schema.kind is not TableKind.TABLE:
+            raise SchemaError(
+                f"create_table only creates plain tables; use "
+                f"db.create_stream(...) / db.create_window(...) for "
+                f"{schema.kind.value} tables"
+            )
+        if schema.hidden_columns():
+            # '__'-prefixed names are engine metadata, hidden from SELECT *
+            # and stats(); a user column by that name would silently vanish
+            raise SchemaError(
+                f"table {schema.name!r}: column names starting with '__' are "
+                f"reserved for engine metadata "
+                f"({', '.join(schema.hidden_columns())})"
+            )
         table = self.catalog.create_table(schema)
         self._schema_changed()
         return table
 
     def drop_table(self, name: str) -> None:
+        """Drop a table, stream, or window (streams with dependent windows,
+        triggers, or workflow edges are rejected)."""
         self._reject_ddl_in_txn("DROP TABLE")
+        self.catalog.table(name)  # raises NoSuchTableError before unregistering
+        self.streaming.unregister_table(name)
         self.catalog.drop_table(name)
         self._schema_changed()
+
+    # -- streaming DDL (paper §3.2) -------------------------------------------
+
+    def create_stream(self, schema: TableSchema) -> Stream:
+        """Create a stream from a *declared* schema (paper §3.2.1).
+
+        The physical table is the declared schema extended with the hidden
+        ``__batch_id__``/``__seq__`` metadata columns; ``SELECT *`` and
+        ``stats()`` keep showing the declared shape.  Write access is
+        exclusively through :meth:`ingest` / ``ctx.emit`` atomic batches.
+        """
+        self._reject_ddl_in_txn("CREATE STREAM")
+        stream = self.streaming.create_stream(schema)
+        self._schema_changed()
+        return stream
+
+    def create_window(
+        self,
+        name: str,
+        source: str,
+        *,
+        size: int,
+        slide: int,
+        unit: str = "rows",
+        owner: Optional[str] = None,
+    ) -> Window:
+        """Create a sliding window over stream ``source`` (paper §3.2.2).
+
+        ``unit="rows"`` slides every ``slide`` tuples over the last ``size``
+        tuples; ``unit="batches"`` slides every ``slide`` atomic batches
+        over the last ``size`` batches (batch ids are the logical time
+        axis).  With ``owner=`` the window is visible only to SQL inside
+        that stored procedure's invocations and advances inside the owner's
+        workflow-delivery transactions; unowned windows advance inside the
+        transaction that ingests each batch.
+        """
+        self._reject_ddl_in_txn("CREATE WINDOW")
+        window = self.streaming.create_window(
+            name, source, size=size, slide=slide, unit=unit, owner=owner
+        )
+        self._schema_changed()
+        return window
+
+    def create_ee_trigger(self, name: str, stream: str, fn) -> EETrigger:
+        """Attach an EE trigger: ``fn(ctx, rows)`` fires per batch-insert
+        statement on ``stream``, inside the inserting transaction
+        (paper §3.2.3); charged at ``ee_trigger_us`` per firing."""
+        self._reject_ddl_in_txn("CREATE TRIGGER")
+        return self.streaming.create_ee_trigger(name, stream, fn)
+
+    def create_pe_trigger(self, name: str, stream: str, fn) -> PETrigger:
+        """Attach a PE trigger: ``fn(db, batch)`` fires after a transaction
+        commits an atomic batch into ``stream``, outside any transaction
+        (paper §3.2.3); charged at ``pe_trigger_us`` per firing."""
+        self._reject_ddl_in_txn("CREATE TRIGGER")
+        return self.streaming.create_pe_trigger(name, stream, fn)
+
+    def create_workflow(self, name: str, edges: Sequence) -> Workflow:
+        """Wire stored procedures into a dataflow DAG (paper §2, §3.2).
+
+        ``edges`` are ``(in_stream, procedure)`` or
+        ``(in_stream, procedure, out_stream)`` tuples: each committed batch
+        in ``in_stream`` runs ``procedure`` once, as one transaction, with
+        that :class:`~repro.streaming.stream.Batch`.  Deliveries are
+        exactly-once in batch-id order; cycles are rejected.
+        """
+        self._reject_ddl_in_txn("CREATE WORKFLOW")
+        return self.streaming.create_workflow(name, edges)
+
+    # -- streaming data plane ----------------------------------------------------
+
+    def ingest(self, stream: str, rows, batch_id: Optional[int] = None) -> list[int]:
+        """Ingest one atomic batch into ``stream`` as one transaction.
+
+        Returns the list of batch ids applied: ``[batch_id]`` normally,
+        ``[]`` when the batch was queued (arrived from the future), or
+        several ids when this batch filled a gap and queued successors were
+        applied behind it.  Committed batches trigger downstream workflow
+        procedures before this call returns (see :meth:`drain`).
+        """
+        return self.streaming.ingest(stream, rows, batch_id)
+
+    def drain(self) -> int:
+        """Run pending workflow/PE-trigger deliveries to completion;
+        returns how many were processed.  A delivery whose transaction
+        aborts stays queued and the error propagates — call ``drain()``
+        again to retry it (exactly-once: the aborted attempt rolled back)."""
+        return self.streaming.drain()
 
     def create_index(
         self,
@@ -230,7 +349,12 @@ class Database:
         """Called by :class:`Transaction` after commit/abort settles state."""
         self._txn = None
         self.clock.charge_cost(event)
-        self.txn_stats["committed" if event == "txn_commit" else "aborted"] += 1
+        if event == "txn_commit":
+            self.txn_stats["committed"] += 1
+        else:
+            self.txn_stats["aborted"] += 1
+            # aborted transactions publish no stream batches (no PE triggers)
+            self.streaming.on_abort(txn)
 
     # -- stored procedures -----------------------------------------------------
 
@@ -277,33 +401,54 @@ class Database:
         if proc is None:
             known = ", ".join(sorted(self._procedures)) or "none"
             raise NoSuchProcedureError(f"no stored procedure {name!r} (have: {known})")
+        result = self._call_procedure(proc, args)
+        # A committed call may have emitted stream batches; run the
+        # downstream workflow deliveries before handing control back.
+        self.streaming.drain()
+        return result
+
+    def _call_procedure(self, proc: StoredProcedure, args: Sequence[Any], *, before=None) -> Any:
+        """Run one procedure invocation as one transaction.
+
+        ``before(ctx)``, when given, runs inside the transaction ahead of
+        the body — the streaming runtime uses it to advance owned windows
+        within a workflow-delivery transaction, so an abort rolls the
+        window back together with the body's writes.
+        """
         if self._txn is not None:
             raise TransactionError(
-                f"cannot invoke procedure {name!r}: transaction "
+                f"cannot invoke procedure {proc.name!r}: transaction "
                 f"{self._txn.txn_id} is already open (serial model)"
             )
         txn = self._begin(implicit=False)
         self.txn_stats["procedure_calls"] += 1
         ctx = ProcedureContext(self, proc, txn)
+        prev_proc = self._current_proc
+        self._current_proc = proc.name
         try:
-            result = proc.fn(ctx, *args)
-        except TransactionAborted:
+            try:
+                if before is not None:
+                    before(ctx)
+                result = proc.fn(ctx, *args)
+            except TransactionAborted:
+                if txn.is_active:
+                    txn.abort()
+                raise
+            except Exception as exc:
+                if txn.is_active:
+                    txn.abort()
+                raise ProcedureError(
+                    f"procedure {proc.name!r} failed and was rolled back: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            except BaseException:
+                if txn.is_active:
+                    txn.abort()
+                raise
             if txn.is_active:
-                txn.abort()
-            raise
-        except Exception as exc:
-            if txn.is_active:
-                txn.abort()
-            raise ProcedureError(
-                f"procedure {proc.name!r} failed and was rolled back: "
-                f"{type(exc).__name__}: {exc}"
-            ) from exc
-        except BaseException:
-            if txn.is_active:
-                txn.abort()
-            raise
-        if txn.is_active:
-            txn.commit()
+                txn.commit()
+        finally:
+            self._current_proc = prev_proc
         return result
 
     # -- statement preparation -----------------------------------------------
@@ -440,7 +585,11 @@ class Database:
 
     def stats(self) -> dict[str, Any]:
         """One snapshot for dashboards/benchmarks: time, events, schema
-        epoch, transaction tallies, cache, tables."""
+        epoch, transaction tallies, cache, tables, streaming state.
+
+        Table column listings show the *declared* schema only — hidden
+        ``__``-prefixed metadata columns are engine-internal.
+        """
         return {
             "sim_time_us": self.clock.now_us,
             "schema_epoch": self.schema_epoch,
@@ -454,7 +603,15 @@ class Database:
                 name: proc.pinned_count() for name, proc in sorted(self._procedures.items())
             },
             "plan_cache": self.plan_cache.stats(),
-            "tables": {t.name: t.row_count() for t in self.catalog.tables()},
+            "tables": {
+                t.name: {
+                    "rows": t.row_count(),
+                    "kind": t.schema.kind.value,
+                    "columns": list(t.schema.declared_columns()),
+                }
+                for t in self.catalog.tables()
+            },
+            "streaming": self.streaming.stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

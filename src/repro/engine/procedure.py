@@ -102,6 +102,18 @@ class ProcedureContext:
         """Convenience: execute and return rows as dicts."""
         return self.execute(sql, params).to_dicts()
 
+    def emit(self, stream: str, rows, batch_id: int | None = None) -> int:
+        """Append an atomic batch to ``stream`` inside this transaction.
+
+        The batch is published — watermark advanced, PE triggers and
+        downstream workflow procedures fired — only when the transaction
+        commits; a rollback emits nothing.  Inside a workflow delivery the
+        batch id defaults to the input batch's id, so ids flow through the
+        DAG unchanged; otherwise it defaults to the next id of ``stream``.
+        Returns the batch id used.
+        """
+        return self._db.streaming.emit(self.txn, stream, rows, batch_id)
+
     def abort(self, message: str = "aborted by stored procedure") -> None:
         """Abort the invocation: raises :class:`UserAbort`, which rolls the
         transaction back and propagates (unwrapped) to the caller."""

@@ -130,7 +130,7 @@ class Transaction:
     COMMITTED = "committed"
     ABORTED = "aborted"
 
-    __slots__ = ("txn_id", "undo", "state", "implicit", "_db")
+    __slots__ = ("txn_id", "undo", "state", "implicit", "_db", "_commit_hooks")
 
     def __init__(self, db: "Database", txn_id: int, *, implicit: bool = False):
         self._db = db
@@ -139,6 +139,10 @@ class Transaction:
         self.state = self.ACTIVE
         #: True for the auto-commit wrapper around a bare ``db.execute()``
         self.implicit = implicit
+        #: Callables run once, after a successful commit has fully closed the
+        #: transaction (the paper's PE-trigger firing point, §3.2.3).  An
+        #: abort discards them unrun — an aborted ingest fires no triggers.
+        self._commit_hooks: list = []
 
     @property
     def is_active(self) -> bool:
@@ -150,16 +154,31 @@ class Transaction:
                 f"cannot {op} transaction {self.txn_id}: it is already {self.state}"
             )
 
+    def add_commit_hook(self, fn) -> None:
+        """Register ``fn()`` to run after this transaction commits.
+
+        Hooks run *outside* the transaction (it is already closed), in
+        registration order; the streaming layer uses them to publish
+        committed stream batches and fire PE triggers.  On abort the hooks
+        are discarded without running.
+        """
+        self._require_active("attach a commit hook to")
+        self._commit_hooks.append(fn)
+
     def commit(self) -> None:
         """Make the transaction's writes permanent and close it."""
         self._require_active("commit")
         self.undo.clear()
         self.state = self.COMMITTED
         self._db._txn_closed(self, "txn_commit")
+        hooks, self._commit_hooks = self._commit_hooks, []
+        for fn in hooks:
+            fn()
 
     def abort(self) -> None:
         """Replay the undo log in reverse and close the transaction."""
         self._require_active("abort")
+        self._commit_hooks.clear()
         db = self._db
         db._charge_undone(self.undo.rollback_to(0))
         self.state = self.ABORTED

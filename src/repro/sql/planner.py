@@ -44,27 +44,21 @@ from typing import Callable, Iterator, Optional, Sequence
 
 from ..common.errors import PlanningError
 from ..storage.catalog import Catalog
-from ..storage.schema import TableSchema
+from ..storage.schema import TableSchema, is_hidden_column
 from ..storage.table import Table
 from .ast import (
     AGGREGATE_FUNCTIONS,
     Between,
     Binary,
-    Case,
     ColumnRef,
     Delete,
     Expr,
     FuncCall,
-    InList,
     Insert,
-    IsNull,
-    Like,
     Literal,
-    OrderItem,
     Select,
     SelectItem,
     Statement,
-    Unary,
     Update,
     contains_aggregate,
     max_param_index,
@@ -737,6 +731,10 @@ def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
                     columns = scope.columns_of(item.star_qualifier)
                 else:
                     columns = scope.all_columns()
+                # ``SELECT *`` projects the *declared* schema: engine-managed
+                # metadata columns (stream batch ids, window staging flags)
+                # stay hidden unless referenced by explicit name.
+                columns = [(n, s) for n, s in columns if not is_hidden_column(n)]
                 for name, slot in columns:
                     out_names_list.append(name)
                     out_fns.append(compile_expr(SlotRef(slot), scope))

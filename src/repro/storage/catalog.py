@@ -60,8 +60,12 @@ class Catalog:
             if kind is None or table.schema.kind is kind:
                 yield table
 
-    def table_names(self) -> list[str]:
-        return sorted(self._tables)
+    def table_names(self, kind: TableKind | None = None) -> list[str]:
+        """Sorted table names, optionally restricted to one
+        :class:`TableKind` (e.g. just the streams)."""
+        if kind is None:
+            return sorted(self._tables)
+        return sorted(t.name for t in self.tables(kind))
 
     # -- checkpointing ---------------------------------------------------------
 

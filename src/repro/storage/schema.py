@@ -27,6 +27,18 @@ class TableKind(enum.Enum):
     WINDOW = "WINDOW"
 
 
+#: Columns whose names start with this prefix are engine-managed metadata
+#: (batch ids, arrival sequence, window staging state).  They are invisible
+#: to ``SELECT *`` and to ``stats()`` column listings, but remain addressable
+#: by explicit name — the streaming layer queries them directly.
+HIDDEN_COLUMN_PREFIX = "__"
+
+
+def is_hidden_column(name: str) -> bool:
+    """Whether ``name`` is an engine-managed metadata column."""
+    return name.startswith(HIDDEN_COLUMN_PREFIX)
+
+
 @dataclass(frozen=True)
 class Column:
     """One column: name, type, nullability, and optional default value."""
@@ -148,17 +160,36 @@ class TableSchema:
         """Extract a key tuple from a row."""
         return tuple(row[self._positions[c]] for c in key_columns)
 
-    def extended(self, extra: Sequence[Column], *, kind: TableKind | None = None) -> "TableSchema":
+    def declared_columns(self) -> tuple[str, ...]:
+        """Column names excluding engine-managed (``__``-prefixed) metadata —
+        the schema as the user declared it."""
+        return tuple(c.name for c in self.columns if not is_hidden_column(c.name))
+
+    def hidden_columns(self) -> tuple[str, ...]:
+        """Engine-managed metadata column names (``__``-prefixed)."""
+        return tuple(c.name for c in self.columns if is_hidden_column(c.name))
+
+    def extended(
+        self,
+        extra: Sequence[Column],
+        *,
+        kind: TableKind | None = None,
+        name: str | None = None,
+        drop_constraints: bool = False,
+    ) -> "TableSchema":
         """A copy of this schema with extra (hidden metadata) columns appended.
 
         Used by the streaming layer to add batch-id / ordering / staging
-        columns to stream and window tables.
+        columns to stream and window tables.  ``drop_constraints`` removes
+        the primary key and UNIQUE constraints — window tables hold several
+        batches of the same stream, so a key that is unique per batch is
+        not unique across the window's contents.
         """
         return TableSchema(
-            self.name,
+            name if name is not None else self.name,
             tuple(self.columns) + tuple(extra),
-            primary_key=self.primary_key,
-            unique_keys=self.unique_keys,
+            primary_key=() if drop_constraints else self.primary_key,
+            unique_keys=() if drop_constraints else self.unique_keys,
             kind=kind if kind is not None else self.kind,
         )
 

@@ -1,0 +1,33 @@
+"""Streaming layer: streams, windows, EE/PE triggers, and workflow DAGs.
+
+The paper's §3.2 model layered on the transactional engine: streams are
+time-varying tables ingested in atomic batches, windows are incrementally
+maintained slices with staging-state visibility, EE triggers fire per
+statement inside the inserting transaction, PE triggers fire on commit and
+drive workflow DAGs of stored procedures with exactly-once, batch-id-
+ordered delivery.  The :class:`~repro.streaming.runtime.StreamingRuntime`
+is owned by each :class:`~repro.engine.Database` (``db.streaming``); the
+public entry points live on the database facade (``db.create_stream``,
+``db.ingest``, ``db.create_window``, ``db.create_workflow``, ...).
+"""
+
+from .stream import BATCH_COLUMN, SEQ_COLUMN, Batch, Stream
+from .trigger import EETrigger, PETrigger, TriggerContext
+from .window import ACTIVE_COLUMN, Window, WindowSpec, WindowTable
+from .workflow import Workflow, WorkflowEdge
+
+__all__ = [
+    "ACTIVE_COLUMN",
+    "BATCH_COLUMN",
+    "Batch",
+    "EETrigger",
+    "PETrigger",
+    "SEQ_COLUMN",
+    "Stream",
+    "TriggerContext",
+    "Window",
+    "WindowSpec",
+    "WindowTable",
+    "Workflow",
+    "WorkflowEdge",
+]

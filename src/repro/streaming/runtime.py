@@ -1,0 +1,617 @@
+"""The streaming runtime: one partition's dataflow state and scheduler.
+
+This module owns everything the paper layers on top of the OLTP engine
+(§3.2): the stream/window registry, EE/PE trigger dispatch, the workflow
+subscription table, and the batch-ordered delivery queue.  It plugs into
+the engine through exactly three seams:
+
+* the executor's **access guard** (:meth:`StreamingRuntime.guard`) — SQL
+  may read streams freely, but direct DML against stream/window tables is
+  rejected (ingest is the only write path), and owned windows are visible
+  only inside their owning procedure (paper §3.2.2);
+* the transaction's **commit hooks** — an atomic batch staged by
+  ``ingest``/``emit`` is published (stream watermark advanced, PE triggers
+  fired and queued) only when its transaction commits; an abort publishes
+  nothing;
+* the database's **procedure invocation** path — workflow deliveries run
+  downstream procedures as ordinary one-transaction calls, with owned
+  windows advanced inside the delivery transaction before the body runs.
+
+Scheduling: deliveries are dispatched smallest-batch-id-first (FIFO among
+equal ids), so a batch flows through its whole DAG path before the next
+batch enters it.  A delivery whose transaction aborts goes back to the
+head of the queue and the error propagates; ``db.drain()`` retries it —
+its rolled-back effects never became visible, so the batch is processed
+exactly once.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from ..common.errors import (
+    BatchOrderError,
+    NoSuchTableError,
+    ScheduleViolation,
+    SchemaError,
+    StreamingError,
+    TransactionError,
+    TriggerError,
+    WindowVisibilityError,
+    WorkflowError,
+)
+from ..storage.schema import TableKind, TableSchema
+from ..storage.table import Table
+from .stream import Batch, Stream, stream_schema
+from .trigger import MAX_EE_DEPTH, EETrigger, PETrigger, TriggerContext
+from .window import Window, WindowSpec
+from .workflow import Workflow, find_cycle, stream_arcs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.database import Database
+    from ..engine.transaction import Transaction
+
+
+class _TxnOps:
+    """Transactional mutation helper for the streaming layer's physical
+    writes (batch inserts, window staging/activation/eviction).
+
+    Mirrors what :class:`~repro.sql.executor.ExecutionContext` does for SQL
+    writes: every mutation is appended to the transaction's undo log and
+    charged on the clock, so streaming maintenance aborts and replays with
+    the rest of the transaction.
+    """
+
+    __slots__ = ("_db", "_txn")
+
+    def __init__(self, db: "Database", txn: "Transaction"):
+        self._db = db
+        self._txn = txn
+
+    def insert(self, table: Table, values: Sequence[Any]) -> int:
+        rowid = table.insert(values)
+        self._txn.undo.on_insert(table, rowid)
+        self._db.clock.charge("rows_inserted", self._db.clock.cost.sql_row_us)
+        return rowid
+
+    def update(self, table: Table, rowid: int, values: Sequence[Any]) -> None:
+        old = table.update_row(rowid, values)
+        self._txn.undo.on_update(table, rowid, old)
+        self._db.clock.charge("rows_updated", self._db.clock.cost.sql_row_us)
+
+    def delete(self, table: Table, rowid: int) -> None:
+        old = table.delete_row(rowid)
+        self._txn.undo.on_delete(table, rowid, old)
+        self._db.clock.charge("rows_deleted", self._db.clock.cost.sql_row_us)
+
+    def charge(self, event: str) -> None:
+        self._db.clock.charge_cost(event)
+
+
+@dataclass
+class _Delivery:
+    """One queued post-commit firing: a workflow hop or a user PE trigger."""
+
+    batch: Batch
+    ext_rows: tuple  # stream-extended rows, for owned-window advancement
+    kind: str        # "proc" | "pe_fn"
+    target: str      # procedure name | trigger name
+    fn: Any = None   # PE trigger body when kind == "pe_fn"
+
+
+class StreamingRuntime:
+    """All streaming state of one :class:`~repro.engine.Database`."""
+
+    def __init__(self, db: "Database"):
+        self._db = db
+        self.streams: dict[str, Stream] = {}
+        self.windows: dict[str, Window] = {}
+        self._windows_by_source: dict[str, list[Window]] = {}
+        self._ee_triggers: dict[str, list[EETrigger]] = {}
+        self._pe_triggers: dict[str, list[PETrigger]] = {}
+        self._trigger_names: set[str] = set()
+        self.workflows: dict[str, Workflow] = {}
+        #: stream name -> [(workflow name, procedure name)]
+        self._subscriptions: dict[str, list[tuple[str, str]]] = {}
+        #: min-heap of [batch_id, enqueue_seq, _Delivery]
+        self._queue: list[list] = []
+        self._enq_seq = 0
+        #: batches staged by the open transaction, keyed by txn id
+        self._txn_staged: dict[int, list[tuple[Stream, int, tuple]]] = {}
+        self._draining = False
+        self._delivering: Optional[_Delivery] = None
+        self._ee_depth = 0
+        #: (stream, procedure) -> last successfully delivered batch id
+        self.delivered: dict[tuple[str, str], int] = {}
+        self.deliveries_done = 0
+        self.delivery_retries = 0
+
+    # -- registry lookups -----------------------------------------------------
+
+    def _stream(self, name: str) -> Stream:
+        stream = self.streams.get(name.lower())
+        if stream is None:
+            if self._db.catalog.has_table(name):
+                raise StreamingError(
+                    f"table {name!r} is a "
+                    f"{self._db.catalog.table(name).schema.kind.value}, not a STREAM"
+                )
+            known = self._db.catalog.table_names(TableKind.STREAM)
+            raise NoSuchTableError(
+                f"no stream {name!r} (have: {', '.join(known) or 'none'})"
+            )
+        return stream
+
+    # -- DDL ------------------------------------------------------------------
+
+    def create_stream(self, declared: TableSchema) -> Stream:
+        """Register a stream from the user's *declared* schema; the physical
+        table carries the hidden ``__batch_id__``/``__seq__`` columns."""
+        if declared.hidden_columns():
+            raise SchemaError(
+                f"stream {declared.name!r}: column names starting with '__' are "
+                f"reserved for engine metadata ({', '.join(declared.hidden_columns())})"
+            )
+        table = Table(stream_schema(declared))
+        self._db.catalog.add_table(table)
+        stream = Stream(declared=declared, table=table)
+        self.streams[table.name] = stream
+        return stream
+
+    def create_window(
+        self,
+        name: str,
+        source: str,
+        *,
+        size: int,
+        slide: int,
+        unit: str = "rows",
+        owner: Optional[str] = None,
+    ) -> Window:
+        stream = self._stream(source)
+        if owner is not None:
+            owner = owner.lower()
+            if owner not in self._db._procedures:
+                raise StreamingError(
+                    f"window {name!r}: owner {owner!r} is not a registered "
+                    f"stored procedure"
+                )
+        window = Window(name.lower(), stream, WindowSpec(unit, size, slide), owner)
+        self._db.catalog.add_table(window.table)
+        self.windows[window.name] = window
+        self._windows_by_source.setdefault(stream.name, []).append(window)
+        return window
+
+    def create_ee_trigger(self, name: str, stream: str, fn) -> EETrigger:
+        self._check_trigger_name(name)
+        target = self._stream(stream)  # EE triggers attach to streams only
+        trigger = EETrigger(name.lower(), target.name, fn)
+        self._ee_triggers.setdefault(target.name, []).append(trigger)
+        self._trigger_names.add(trigger.name)
+        return trigger
+
+    def create_pe_trigger(self, name: str, stream: str, fn) -> PETrigger:
+        self._check_trigger_name(name)
+        target = self._stream(stream)  # a PE trigger on a window is invalid
+        trigger = PETrigger(name.lower(), target.name, fn)
+        self._pe_triggers.setdefault(target.name, []).append(trigger)
+        self._trigger_names.add(trigger.name)
+        return trigger
+
+    def _check_trigger_name(self, name: str) -> None:
+        if not name:
+            raise TriggerError("trigger name must be non-empty")
+        if name.lower() in self._trigger_names:
+            raise TriggerError(f"trigger {name!r} already exists")
+
+    def create_workflow(self, name: str, edges: Sequence) -> Workflow:
+        key = name.lower()
+        if key in self.workflows:
+            raise WorkflowError(f"workflow {name!r} already exists")
+        workflow = Workflow(key, edges)
+        for edge in workflow.edges:
+            self._stream(edge.in_stream)
+            if edge.out_stream is not None:
+                self._stream(edge.out_stream)
+            if edge.procedure not in self._db._procedures:
+                raise WorkflowError(
+                    f"workflow {name!r}: procedure {edge.procedure!r} is not "
+                    f"registered"
+                )
+            for other_subs in self._subscriptions.get(edge.in_stream, ()):
+                if other_subs[1] == edge.procedure:
+                    raise WorkflowError(
+                        f"workflow {name!r}: procedure {edge.procedure!r} is "
+                        f"already subscribed to stream {edge.in_stream!r} by "
+                        f"workflow {other_subs[0]!r}"
+                    )
+        # individually acyclic workflows may still close a loop together —
+        # a joint cycle would re-trigger deliveries forever, so check the
+        # union of every registered workflow's arcs plus the candidate's
+        arcs = stream_arcs(e for wf in self.workflows.values() for e in wf.edges)
+        arcs += stream_arcs(workflow.edges)
+        cycle = find_cycle(arcs)
+        if cycle is not None:
+            raise WorkflowError(
+                f"workflow {name!r} would close a cycle across workflows: "
+                f"{' -> '.join(cycle)}"
+            )
+        self.workflows[key] = workflow
+        for edge in workflow.edges:
+            self._subscriptions.setdefault(edge.in_stream, []).append(
+                (key, edge.procedure)
+            )
+        return workflow
+
+    def unregister_table(self, name: str) -> bool:
+        """Called by ``Database.drop_table``; returns True when ``name`` was
+        a streaming object (and has now been unregistered)."""
+        key = name.lower()
+        if key in self.streams:
+            dependents = [w.name for w in self._windows_by_source.get(key, ())]
+            dependents += [t.name for t in self._ee_triggers.get(key, ())]
+            dependents += [t.name for t in self._pe_triggers.get(key, ())]
+            dependents += [
+                wf.name
+                for wf in self.workflows.values()
+                if any(e.in_stream == key or e.out_stream == key for e in wf.edges)
+            ]
+            if dependents:
+                raise StreamingError(
+                    f"cannot drop stream {name!r}: referenced by "
+                    f"{', '.join(sorted(set(dependents)))}"
+                )
+            del self.streams[key]
+            return True
+        if key in self.windows:
+            window = self.windows.pop(key)
+            self._windows_by_source[window.source].remove(window)
+            return True
+        return False
+
+    # -- the access guard (installed as Database._guard) ----------------------
+
+    def guard(self, table: Table, mode: str) -> None:
+        kind = table.schema.kind
+        if kind is TableKind.TABLE:
+            return
+        if mode == "write":
+            if kind is TableKind.STREAM:
+                raise StreamingError(
+                    f"direct DML on stream {table.name!r} is not allowed; "
+                    f"ingest atomic batches with db.ingest({table.name!r}, rows) "
+                    f"or ctx.emit({table.name!r}, rows) inside a procedure"
+                )
+            raise StreamingError(
+                f"direct DML on window {table.name!r} is not allowed; windows "
+                f"are maintained by the streaming layer as their source "
+                f"stream's batches commit"
+            )
+        if kind is TableKind.WINDOW:
+            window = self.windows.get(table.name)
+            if window is not None and window.owner is not None:
+                current = self._db._current_proc
+                if current != window.owner:
+                    raise WindowVisibilityError(
+                        f"window {table.name!r} is only visible inside its "
+                        f"owning procedure {window.owner!r} "
+                        f"(current: {current or 'ad-hoc SQL'})"
+                    )
+
+    # -- ingest / emit ---------------------------------------------------------
+
+    def ingest(self, stream_name: str, rows, batch_id: Optional[int] = None) -> list[int]:
+        """Ingest one atomic batch (one transaction per applied batch).
+
+        Returns the batch ids applied — empty when the batch arrived from
+        the future and was queued; several when it filled a gap and queued
+        successors were applied behind it.  After applying, drains the
+        delivery queue (downstream workflow procedures run here), so a
+        downstream abort propagates to this caller *after* the ingested
+        batch itself has committed; ``db.drain()`` retries the delivery.
+        """
+        db = self._db
+        if db._txn is not None:
+            raise TransactionError(
+                "db.ingest opens its own transaction per atomic batch; finish "
+                "the open transaction first (inside a procedure, use ctx.emit)"
+            )
+        stream = self._stream(stream_name)
+        if batch_id is None:
+            batch_id = stream.next_auto_batch()
+        batch_id = int(batch_id)
+        if batch_id <= stream.last_committed:
+            raise BatchOrderError(
+                f"stream {stream.name!r}: batch {batch_id} is not after the "
+                f"last committed batch {stream.last_committed}"
+            )
+        if batch_id in stream.pending:
+            if batch_id != stream.expected_batch:
+                raise BatchOrderError(
+                    f"stream {stream.name!r}: batch {batch_id} is already queued"
+                )
+            # the queued copy became applicable but failed to apply (that is
+            # the only way it is still here): this explicit re-ingest is a
+            # retry — replace the stuck copy instead of wedging the stream
+            del stream.pending[batch_id]
+        db.clock.charge_cost("client_submit")
+        applied: list[int] = []
+        if batch_id != stream.expected_batch:
+            # Coerce rows now, against the declared schema: a malformed row
+            # must fail this submission, not poison the gap-filling ingest
+            # that eventually applies the queued batch.
+            stream.pending[batch_id] = [self._coerce_declared(stream, r) for r in rows]
+            return applied
+        self._apply_batch(stream, batch_id, rows)
+        applied.append(batch_id)
+        while stream.expected_batch in stream.pending:
+            nxt = stream.expected_batch
+            self._apply_batch(stream, nxt, stream.pending[nxt])
+            del stream.pending[nxt]
+            applied.append(nxt)
+        self.drain()
+        return applied
+
+    def _coerce_declared(self, stream: Stream, raw) -> tuple:
+        """One declared-width row from user input (tuple or mapping), type-
+        coerced and NOT-NULL-checked against the declared schema."""
+        if isinstance(raw, dict):
+            return stream.declared.row_from_mapping(raw)
+        row = tuple(raw)
+        if len(row) != stream.declared.arity():
+            raise SchemaError(
+                f"stream {stream.name!r} expects {stream.declared.arity()} "
+                f"value(s) per row, got {len(row)}"
+            )
+        return stream.declared.coerce_row(row)
+
+    def _apply_batch(self, stream: Stream, batch_id: int, rows) -> None:
+        db = self._db
+        txn = db._begin(implicit=True)
+        try:
+            self._emit_into(txn, stream, batch_id, rows)
+        except BaseException:
+            txn.abort()
+            raise
+        txn.commit()
+
+    def emit(self, txn: "Transaction", stream_name: str, rows, batch_id=None) -> int:
+        """Append an atomic batch to a stream inside ``txn`` (procedures and
+        EE triggers); published when the transaction commits."""
+        db = self._db
+        if txn is not db._txn or not txn.is_active:
+            raise TransactionError(
+                f"emit requires a live transaction (transaction {txn.txn_id} "
+                f"is {txn.state})"
+            )
+        stream = self._stream(stream_name)
+        last = stream.last_committed
+        for staged_stream, staged_id, _rows in self._txn_staged.get(txn.txn_id, ()):
+            if staged_stream is stream and staged_id > last:
+                last = staged_id
+        if batch_id is None:
+            delivering = self._delivering
+            if delivering is not None and delivering.batch.batch_id > last:
+                # propagate the input batch id through the DAG
+                batch_id = delivering.batch.batch_id
+            else:
+                batch_id = last + 1
+        batch_id = int(batch_id)
+        if batch_id <= last:
+            raise BatchOrderError(
+                f"stream {stream.name!r}: emitted batch {batch_id} is not "
+                f"after batch {last}"
+            )
+        if stream.pending and batch_id >= min(stream.pending):
+            # emitting past queued ingest batches would strand them forever
+            # (their ids would fall at or below the new watermark)
+            raise BatchOrderError(
+                f"stream {stream.name!r}: emitted batch {batch_id} conflicts "
+                f"with queued ingest batches {sorted(stream.pending)}"
+            )
+        self._emit_into(txn, stream, batch_id, rows)
+        return batch_id
+
+    def _emit_into(self, txn: "Transaction", stream: Stream, batch_id: int, rows) -> None:
+        """The one write path into a stream: insert the batch (undo-logged),
+        advance unowned windows, fire EE triggers, stage for publication."""
+        db = self._db
+        # Fail fast on a miswired pipeline: an owned window only advances
+        # through deliveries of its source stream to its owner, so batches
+        # flowing in while no such subscription exists would silently never
+        # reach the window and every downstream aggregate would be wrong.
+        for window in self._windows_by_source.get(stream.name, ()):
+            if window.owner is not None and not any(
+                procedure == window.owner
+                for _workflow, procedure in self._subscriptions.get(stream.name, ())
+            ):
+                raise StreamingError(
+                    f"window {window.name!r} is owned by procedure "
+                    f"{window.owner!r}, which is not subscribed to stream "
+                    f"{stream.name!r} in any workflow; its contents would "
+                    f"silently never advance — wire the owner into a "
+                    f"workflow before ingesting"
+                )
+        ops = _TxnOps(db, txn)
+        db.clock.charge_cost("sql_stmt")  # the batch insert is one statement
+        ext_rows = []
+        for raw in rows:
+            declared = self._coerce_declared(stream, raw)
+            seq = stream.next_seq
+            stream.next_seq += 1
+            rowid = ops.insert(stream.table, declared + (batch_id, seq))
+            ext_rows.append(stream.table.get(rowid))  # post-coercion row
+        frozen = tuple(ext_rows)
+        for window in self._windows_by_source.get(stream.name, ()):
+            if window.owner is None:
+                window.absorb(ops, frozen)
+        self._fire_ee(txn, stream, batch_id, frozen)
+        self._stage(txn, stream, batch_id, frozen)
+
+    # -- EE triggers (in-transaction, per statement) ---------------------------
+
+    def _fire_ee(self, txn: "Transaction", stream: Stream, batch_id: int, ext_rows: tuple) -> None:
+        triggers = self._ee_triggers.get(stream.name)
+        if not triggers:
+            return
+        if self._ee_depth >= MAX_EE_DEPTH:
+            raise TriggerError(
+                f"EE trigger cascade deeper than {MAX_EE_DEPTH} levels on "
+                f"stream {stream.name!r} (cyclic trigger graph?)"
+            )
+        db = self._db
+        declared_rows = _strip(ext_rows, stream.declared.arity())
+        self._ee_depth += 1
+        try:
+            for trigger in triggers:
+                db.clock.charge_cost("ee_trigger")
+                trigger.fn(TriggerContext(db, txn, trigger, batch_id), declared_rows)
+        finally:
+            self._ee_depth -= 1
+
+    # -- publication (commit hooks) and PE triggers ----------------------------
+
+    def _stage(self, txn: "Transaction", stream: Stream, batch_id: int, ext_rows: tuple) -> None:
+        staged = self._txn_staged.get(txn.txn_id)
+        if staged is None:
+            staged = []
+            self._txn_staged[txn.txn_id] = staged
+            txn.add_commit_hook(lambda txn_id=txn.txn_id: self._publish(txn_id))
+        staged.append((stream, batch_id, ext_rows))
+
+    def on_abort(self, txn: "Transaction") -> None:
+        """Called by the database when a transaction aborts: its staged
+        batches are discarded — an aborted ingest fires no triggers."""
+        self._txn_staged.pop(txn.txn_id, None)
+
+    def _publish(self, txn_id: int) -> None:
+        """Commit hook: advance stream watermarks, fire (charge + enqueue)
+        PE triggers and workflow subscriptions for every committed batch."""
+        db = self._db
+        for stream, batch_id, ext_rows in self._txn_staged.pop(txn_id, ()):
+            stream.last_committed = max(stream.last_committed, batch_id)
+            batch = Batch(stream.name, batch_id, _strip(ext_rows, stream.declared.arity()))
+            for trigger in self._pe_triggers.get(stream.name, ()):
+                db.clock.charge_cost("pe_trigger")
+                self._enqueue(_Delivery(batch, ext_rows, "pe_fn", trigger.name, trigger.fn))
+            for _workflow, procedure in self._subscriptions.get(stream.name, ()):
+                db.clock.charge_cost("pe_trigger")
+                self._enqueue(_Delivery(batch, ext_rows, "proc", procedure))
+
+    def _enqueue(self, delivery: _Delivery) -> None:
+        self._enq_seq += 1
+        heapq.heappush(self._queue, [delivery.batch.batch_id, self._enq_seq, delivery])
+
+    # -- the delivery scheduler -------------------------------------------------
+
+    def drain(self) -> int:
+        """Process queued deliveries, smallest batch id first, until the
+        queue is empty; returns how many were processed.
+
+        A failing delivery goes back to the head of the queue, the error
+        propagates, and a later ``drain()`` retries it.  No-op while a
+        drain is already running or a transaction is open.
+        """
+        db = self._db
+        if self._draining or db._txn is not None:
+            return 0
+        self._draining = True
+        processed = 0
+        try:
+            while self._queue:
+                entry = heapq.heappop(self._queue)
+                try:
+                    self._deliver(entry[2])
+                except BaseException:
+                    self.delivery_retries += 1
+                    heapq.heappush(self._queue, entry)
+                    raise
+                processed += 1
+                self.deliveries_done += 1
+        finally:
+            self._draining = False
+        return processed
+
+    def _deliver(self, delivery: _Delivery) -> None:
+        db = self._db
+        if delivery.kind == "pe_fn":
+            delivery.fn(db, delivery.batch)
+            return
+        key = (delivery.batch.stream, delivery.target)
+        last = self.delivered.get(key, 0)
+        if delivery.batch.batch_id <= last:
+            raise ScheduleViolation(
+                f"stream {delivery.batch.stream!r} -> procedure "
+                f"{delivery.target!r}: batch {delivery.batch.batch_id} "
+                f"scheduled after batch {last} was already processed"
+            )
+        procedure = db._procedures.get(delivery.target)
+        if procedure is None:  # pragma: no cover - registration is validated
+            raise WorkflowError(f"procedure {delivery.target!r} disappeared")
+        previous = self._delivering
+        self._delivering = delivery
+        try:
+            db._call_procedure(
+                procedure,
+                (delivery.batch,),
+                before=lambda ctx: self._advance_owned_windows(ctx.txn, delivery),
+            )
+        finally:
+            self._delivering = previous
+        self.delivered[key] = delivery.batch.batch_id
+
+    def _advance_owned_windows(self, txn: "Transaction", delivery: _Delivery) -> None:
+        """Inside the delivery transaction, before the procedure body:
+        windows over the input stream owned by the target procedure absorb
+        the batch.  An abort rolls this back; the retry re-absorbs."""
+        ops = _TxnOps(self._db, txn)
+        for window in self._windows_by_source.get(delivery.batch.stream, ()):
+            if window.owner == delivery.target:
+                window.absorb(ops, delivery.ext_rows)
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        events = self._db.clock.events
+        return {
+            "streams": {
+                s.name: {
+                    "last_batch": s.last_committed,
+                    "pending_batches": sorted(s.pending),
+                    "rows": s.table.row_count(),
+                }
+                for s in self.streams.values()
+            },
+            "windows": {
+                w.name: {
+                    "source": w.source,
+                    "owner": w.owner,
+                    "unit": w.spec.unit,
+                    "size": w.spec.size,
+                    "slide": w.spec.slide,
+                    **w.counts(),
+                }
+                for w in self.windows.values()
+            },
+            "triggers": {
+                "ee": sorted(t.name for ts in self._ee_triggers.values() for t in ts),
+                "pe": sorted(t.name for ts in self._pe_triggers.values() for t in ts),
+            },
+            "trigger_fires": {
+                "ee": events.get("ee_trigger", 0),
+                "pe": events.get("pe_trigger", 0),
+            },
+            "workflows": {name: wf.describe() for name, wf in self.workflows.items()},
+            "scheduler": {
+                "pending_deliveries": len(self._queue),
+                "delivered": self.deliveries_done,
+                "retries": self.delivery_retries,
+            },
+        }
+
+
+def _strip(ext_rows: tuple, declared_arity: int) -> tuple:
+    """Declared-width projections of stream-extended rows."""
+    return tuple(row[:declared_arity] for row in ext_rows)
