@@ -28,18 +28,43 @@ Workloads
   input stream; measures per-batch pipeline cost, counts EE/PE trigger
   firings exactly, and bounds the trigger overhead fraction (§3.2.3).
 
-The harness writes ``BENCH_pr3.json`` (override with ``--out``) and
+Wall-clock mode (the ``wall_clock`` report section)
+===================================================
+Simulated time keeps results machine-independent, but the vectorized
+bulk paths are a *real* CPython optimisation, so the harness also
+measures **wall-clock** time with ``time.perf_counter``:
+
+* ``bulk_ingest`` — one vectorized ``db.executemany`` batch versus the
+  same rows applied one ``db.execute`` at a time (plans cached in both
+  cases, one transaction each: the contrast is pure per-invocation
+  overhead, the paper's §3.2.1 batch-amortisation claim).
+* ``storage_insert_many`` — ``Table.insert_many`` versus a
+  ``Table.insert`` loop at the storage layer (batch unique checks, one
+  index-maintenance loop per index).
+* ``stream_ingest`` — sustained atomic-batch ``db.ingest`` throughput
+  through the vectorized batch-apply path.
+
+Both bulk/row comparisons measure each path best-of-3 and assert
+**ratios**, not absolute times, so CI machines do not flake; both also
+assert the two paths produced byte-identical physical state
+(``snapshot_state`` equality).  Every
+simulated workload additionally reports its wall-clock duration as
+``wall_s``.
+
+The harness writes ``BENCH_pr4.json`` (override with ``--out``) and
 (unless ``--no-check``) enforces the acceptance thresholds: point lookup
 ≥ 10× cheaper than the equivalent seq scan, plan-cache hit rate ≥ 99% on
 the repeated-statement workload, cache hits cheaper than cold plans, the
 procedure path no more expensive than the equivalent ad-hoc auto-commit
 statements, abort leaving exactly the committed rows behind, exact EE/PE
 trigger fire counts on the streaming pipeline with trigger overhead below
-the threshold, and an end-to-end-consistent leaderboard.
+the threshold, an end-to-end-consistent leaderboard, and the wall-clock
+bulk-vs-row ratios above.
 
 ``--smoke`` shrinks every workload to tiny row counts for CI: the same
-thresholds are enforced (row-count-gated ones skip themselves), so a perf
-or consistency regression fails the PR without a long benchmark run.
+thresholds are enforced (row-count-gated ones relax or skip themselves),
+so a perf or consistency regression fails the PR without a long
+benchmark run.
 """
 
 from __future__ import annotations
@@ -47,6 +72,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent.parent / "src"
@@ -57,6 +83,7 @@ from repro.common.clock import CostModel, Stopwatch  # noqa: E402
 from repro.common.types import ColumnType  # noqa: E402
 from repro.engine import Database  # noqa: E402
 from repro.storage.schema import schema  # noqa: E402
+from repro.storage.table import Table  # noqa: E402
 
 DEFAULT_ROWS = 10_000
 POINT_QUERIES = 2_000
@@ -72,6 +99,19 @@ ABORT_BATCH = 5    # statements per transaction
 STREAM_BATCHES = 50        # atomic batches through the pipeline DAG
 STREAM_BATCH_ROWS = 100    # tuples per atomic batch
 TRIGGER_OVERHEAD_MAX = 0.20  # EE+PE trigger time as a fraction of pipeline time
+
+#: Wall-clock bulk-vs-row ratio floors (ratios, not absolute times, so CI
+#: machines don't flake).  Each path is measured best-of-``WALL_TRIALS``
+#: to damp scheduler/GC noise.  The full thresholds apply on a >=
+#: 10k-row batch (the PR's acceptance criterion); smoke-sized runs
+#: enforce the relaxed floors so a vectorization regression still fails CI.
+WALL_TRIALS = 3
+BULK_INGEST_SPEEDUP_MIN = 3.0
+BULK_INGEST_SPEEDUP_MIN_SMALL = 1.3
+STORAGE_BULK_SPEEDUP_MIN = 1.3
+STORAGE_BULK_SPEEDUP_MIN_SMALL = 1.1
+WALLCLOCK_FULL_ROWS = 10_000  # batch size at which the full ratios apply
+INGEST_WALL_BATCH_ROWS = 1_000  # rows per atomic batch in stream_ingest
 
 #: ``--smoke`` sizes: tiny row counts so CI enforces thresholds quickly.
 SMOKE_ROWS = 2_000
@@ -480,8 +520,190 @@ def bench_streaming_pipeline(batches: int, batch_rows: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Wall-clock workloads — real time.perf_counter measurements of the
+# vectorized bulk paths versus their row-at-a-time equivalents
+# ---------------------------------------------------------------------------
+
+INSERT_SQL = "INSERT INTO bench (id, grp, val, name) VALUES (?, ?, ?, ?)"
+
+
+def _bench_params(rows: int, seed: int) -> list[tuple]:
+    rng = lcg(seed)
+    return [row_values(i, next(rng)) for i in range(rows)]
+
+
+def _best_of(trials: int, run) -> tuple[float, object]:
+    """Best (minimum) wall-clock seconds over ``trials`` runs of ``run()``
+    — each on fresh state — plus the last run's artifact for differential
+    checks.  Minimum-of-N damps scheduler/GC noise, keeping the asserted
+    ratios stable run to run."""
+    best = float("inf")
+    artifact = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        artifact = run()
+        best = min(best, time.perf_counter() - t0)
+    return best, artifact
+
+
+def bench_wallclock_bulk_ingest(rows: int) -> dict:
+    """Engine-level bulk-vs-row wall clock: one vectorized ``executemany``
+    batch against the same rows applied one ``db.execute`` at a time.
+
+    Both paths pre-bind identical parameter lists, pre-warm the plan cache,
+    run as a single transaction, and are measured best-of-``WALL_TRIALS``,
+    so the measured gap is purely the per-invocation overhead the bulk
+    path amortises.  The two databases must end in byte-identical physical
+    state (rows, rowids, arrival order) — the differential check rides
+    inside the benchmark.
+    """
+    params = _bench_params(rows, 31)
+
+    def run_row_path():
+        db = Database(cost=CostModel.calibrated())
+        create_bench_table(db)
+        db.prepare(INSERT_SQL)
+        with db.transaction():
+            for p in params:
+                db.execute(INSERT_SQL, p)
+        return db
+
+    def run_bulk_path():
+        db = Database(cost=CostModel.calibrated())
+        create_bench_table(db)
+        db.prepare(INSERT_SQL)
+        db.executemany(INSERT_SQL, params)
+        return db
+
+    row_s, row_db = _best_of(WALL_TRIALS, run_row_path)
+    bulk_s, bulk_db = _best_of(WALL_TRIALS, run_bulk_path)
+
+    identical = (
+        row_db.catalog.table("bench").snapshot_state()
+        == bulk_db.catalog.table("bench").snapshot_state()
+    )
+    return {
+        "rows": rows,
+        "row_at_a_time_s": row_s,
+        "bulk_s": bulk_s,
+        "rows_per_sec_row_path": rows / row_s if row_s else 0.0,
+        "rows_per_sec_bulk": rows / bulk_s if bulk_s else 0.0,
+        "bulk_speedup": row_s / bulk_s if bulk_s else float("inf"),
+        "identical_state": identical,
+    }
+
+
+def bench_wallclock_storage(rows: int) -> dict:
+    """Storage-level bulk-vs-row wall clock: ``Table.insert_many`` against
+    a ``Table.insert`` loop (same rows, same indexes: pk hash + ordered
+    ``grp``), best-of-``WALL_TRIALS`` per path, with the same
+    byte-identical-state differential check."""
+    data = _bench_params(rows, 37)
+
+    def fresh_table() -> Table:
+        t = Table(
+            schema(
+                "bench",
+                ("id", ColumnType.BIGINT, False),
+                ("grp", ColumnType.INTEGER, False),
+                ("val", ColumnType.FLOAT),
+                ("name", ColumnType.VARCHAR, False),
+                primary_key=["id"],
+            )
+        )
+        t.create_index("bench_grp_ord", ["grp"], ordered=True)
+        return t
+
+    def run_row_path():
+        t = fresh_table()
+        for values in data:
+            t.insert(values)
+        return t
+
+    def run_bulk_path():
+        t = fresh_table()
+        t.insert_many(data)
+        return t
+
+    row_s, row_table = _best_of(WALL_TRIALS, run_row_path)
+    bulk_s, bulk_table = _best_of(WALL_TRIALS, run_bulk_path)
+
+    return {
+        "rows": rows,
+        "row_at_a_time_s": row_s,
+        "bulk_s": bulk_s,
+        "rows_per_sec_row_path": rows / row_s if row_s else 0.0,
+        "rows_per_sec_bulk": rows / bulk_s if bulk_s else 0.0,
+        "bulk_speedup": row_s / bulk_s if bulk_s else float("inf"),
+        "identical_state": row_table.snapshot_state() == bulk_table.snapshot_state(),
+    }
+
+
+def bench_wallclock_stream_ingest(rows: int) -> dict:
+    """Sustained atomic-batch ingest throughput (wall clock) through the
+    vectorized batch-apply path, with a consuming workflow stage so stream
+    GC keeps memory bounded over the run."""
+    db = Database(cost=CostModel.calibrated())
+    db.create_stream(
+        schema("feed", ("phone", ColumnType.BIGINT), ("contestant", ColumnType.INTEGER))
+    )
+    db.create_table(
+        schema(
+            "tally",
+            ("contestant", ColumnType.INTEGER, False),
+            ("n", ColumnType.BIGINT, False),
+            primary_key=["contestant"],
+        )
+    )
+    db.executemany(
+        "INSERT INTO tally (contestant, n) VALUES (?, ?)",
+        ((c, 0) for c in range(CONTESTANTS)),
+    )
+
+    @db.register_procedure
+    def absorb(ctx, batch):
+        ctx.execute(
+            "UPDATE tally SET n = n + ? WHERE contestant = ?", (len(batch.rows), 0)
+        )
+
+    db.create_workflow("feed_flow", [("feed", "absorb")])
+
+    batch_rows = min(INGEST_WALL_BATCH_ROWS, max(rows // 10, 1))
+    batches = max(rows // batch_rows, 1)
+    rng = lcg(41)
+    payloads = [
+        [(next(rng), next(rng) % CONTESTANTS) for _ in range(batch_rows)]
+        for _ in range(batches)
+    ]
+    t0 = time.perf_counter()
+    for payload in payloads:
+        db.ingest("feed", payload)
+    wall_s = time.perf_counter() - t0
+    total = batches * batch_rows
+    streaming = db.stats()["streaming"]
+    return {
+        "rows": total,
+        "batches": batches,
+        "rows_per_batch": batch_rows,
+        "wall_s": wall_s,
+        "rows_per_sec": total / wall_s if wall_s else 0.0,
+        "batches_per_sec": batches / wall_s if wall_s else 0.0,
+        "reclaimed_rows": streaming["scheduler"]["rows_reclaimed"],
+        "resident_stream_rows": streaming["streams"]["feed"]["rows"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
+
+
+def _timed(fn, *args) -> dict:
+    """Run one simulated workload, stamping its wall-clock duration."""
+    t0 = time.perf_counter()
+    result = fn(*args)
+    result["wall_s"] = time.perf_counter() - t0
+    return result
 
 
 def run_benchmarks(
@@ -492,23 +714,31 @@ def run_benchmarks(
 ) -> dict:
     db = make_db(rows)
     results = {
-        "bulk_insert": bench_bulk_insert(rows),
-        "point_lookup_index": bench_point_lookup_index(db, rows),
-        "point_lookup_seqscan": bench_point_lookup_seqscan(db, rows),
-        "range_scan": bench_range_scan(db, rows),
-        "plan_cache": bench_plan_cache(db, rows),
-        "procedure_call": bench_procedure_call(),
-        "abort_rate": bench_abort_rate(),
-        "streaming_pipeline": bench_streaming_pipeline(stream_batches, stream_batch_rows),
+        "bulk_insert": _timed(bench_bulk_insert, rows),
+        "point_lookup_index": _timed(bench_point_lookup_index, db, rows),
+        "point_lookup_seqscan": _timed(bench_point_lookup_seqscan, db, rows),
+        "range_scan": _timed(bench_range_scan, db, rows),
+        "plan_cache": _timed(bench_plan_cache, db, rows),
+        "procedure_call": _timed(bench_procedure_call),
+        "abort_rate": _timed(bench_abort_rate),
+        "streaming_pipeline": _timed(
+            bench_streaming_pipeline, stream_batches, stream_batch_rows
+        ),
+    }
+    wall_clock = {
+        "bulk_ingest": bench_wallclock_bulk_ingest(rows),
+        "storage_insert_many": bench_wallclock_storage(rows),
+        "stream_ingest": bench_wallclock_stream_ingest(rows),
     }
     point = results["point_lookup_index"]["avg_us_per_query_sim"]
     scan = results["point_lookup_seqscan"]["avg_us_per_query_sim"]
     pipeline = results["streaming_pipeline"]
     report = {
-        "benchmark": "pr3-streaming-dataflow",
+        "benchmark": "pr4-vectorized-hot-paths",
         "table_rows": rows,
         "cost_model": "calibrated",
         "results": results,
+        "wall_clock": wall_clock,
         "derived": {
             "point_vs_scan_speedup": scan / point,
             "plan_cache_hit_rate": results["plan_cache"]["hit_rate"],
@@ -519,6 +749,13 @@ def run_benchmarks(
             "pipeline_us_per_batch": pipeline["avg_us_per_batch_sim"],
             "trigger_overhead_frac": pipeline["trigger_overhead_frac"],
             "pipeline_consistent": pipeline["pipeline_consistent"],
+            "bulk_ingest_speedup_wall": wall_clock["bulk_ingest"]["bulk_speedup"],
+            "storage_bulk_speedup_wall": wall_clock["storage_insert_many"]["bulk_speedup"],
+            "bulk_paths_identical_state": (
+                wall_clock["bulk_ingest"]["identical_state"]
+                and wall_clock["storage_insert_many"]["identical_state"]
+            ),
+            "stream_ingest_rows_per_sec_wall": wall_clock["stream_ingest"]["rows_per_sec"],
         },
     }
     return report
@@ -575,6 +812,36 @@ def check_thresholds(report: dict) -> list[str]:
             "streaming pipeline left inconsistent state (leaderboard does "
             "not match the final counts emission / window contents)"
         )
+    wall = report["wall_clock"]
+    ingest = wall["bulk_ingest"]
+    ingest_min = (
+        BULK_INGEST_SPEEDUP_MIN
+        if ingest["rows"] >= WALLCLOCK_FULL_ROWS
+        else BULK_INGEST_SPEEDUP_MIN_SMALL
+    )
+    if ingest["bulk_speedup"] < ingest_min:
+        failures.append(
+            f"bulk ingest only {ingest['bulk_speedup']:.2f}x faster than the "
+            f"row-at-a-time path on a {ingest['rows']}-row batch (wall clock; "
+            f"need >= {ingest_min}x)"
+        )
+    storage = wall["storage_insert_many"]
+    storage_min = (
+        STORAGE_BULK_SPEEDUP_MIN
+        if storage["rows"] >= WALLCLOCK_FULL_ROWS
+        else STORAGE_BULK_SPEEDUP_MIN_SMALL
+    )
+    if storage["bulk_speedup"] < storage_min:
+        failures.append(
+            f"Table.insert_many only {storage['bulk_speedup']:.2f}x faster than "
+            f"the Table.insert loop on {storage['rows']} rows (wall clock; "
+            f"need >= {storage_min}x)"
+        )
+    if not derived["bulk_paths_identical_state"]:
+        failures.append(
+            "bulk and row-at-a-time paths diverged: snapshot_state is not "
+            "byte-identical (rows/rowids/arrival order)"
+        )
     return failures
 
 
@@ -586,8 +853,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="tiny row counts for CI: same thresholds, "
                              "fast run (row-count-gated checks skip)")
     parser.add_argument("--out", type=Path,
-                        default=Path(__file__).resolve().parent.parent / "BENCH_pr3.json",
-                        help="output JSON path (default: repo-root BENCH_pr3.json)")
+                        default=Path(__file__).resolve().parent.parent / "BENCH_pr4.json",
+                        help="output JSON path (default: repo-root BENCH_pr4.json)")
     parser.add_argument("--no-check", action="store_true",
                         help="skip acceptance-threshold enforcement")
     args = parser.parse_args(argv)
@@ -620,6 +887,22 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  trigger overhead      : {derived['trigger_overhead_frac']:.2%} "
           f"(ee={pipeline['ee_trigger_fires']}, pe={pipeline['pe_trigger_fires']}, "
           f"consistent: {derived['pipeline_consistent']})")
+    wall = report["wall_clock"]
+    ingest = wall["bulk_ingest"]
+    storage = wall["storage_insert_many"]
+    stream = wall["stream_ingest"]
+    print(f"  bulk ingest (wall)    : {ingest['bulk_speedup']:.2f}x vs row-at-a-time "
+          f"({ingest['rows_per_sec_bulk']:,.0f} vs "
+          f"{ingest['rows_per_sec_row_path']:,.0f} rows/s, "
+          f"identical: {ingest['identical_state']})")
+    print(f"  insert_many (wall)    : {storage['bulk_speedup']:.2f}x vs insert loop "
+          f"({storage['rows_per_sec_bulk']:,.0f} vs "
+          f"{storage['rows_per_sec_row_path']:,.0f} rows/s, "
+          f"identical: {storage['identical_state']})")
+    print(f"  stream ingest (wall)  : {stream['rows_per_sec']:,.0f} rows/s "
+          f"({stream['batches_per_sec']:,.1f} batches/s, "
+          f"{stream['reclaimed_rows']} rows GC'd, "
+          f"{stream['resident_stream_rows']} resident)")
 
     if not args.no_check:
         failures = check_thresholds(report)

@@ -13,13 +13,18 @@ The :class:`UndoLog` is the engine's implementation of the executor's
 one undo record.  Undo is purely physical and uses ``Table``'s reversible
 primitives:
 
-=========  =======================================
-forward    undo
-=========  =======================================
-insert     ``Table.delete_row(rowid)``
-delete     ``Table.restore_row(rowid, old_row)``
-update     ``Table.update_row(rowid, old_row)``
-=========  =======================================
+===========  =========================================
+forward      undo
+===========  =========================================
+insert       ``Table.delete_row(rowid)``
+insert_many  ``Table.delete_range(first_rowid, count)``
+delete       ``Table.restore_row(rowid, old_row)``
+update       ``Table.update_row(rowid, old_row)``
+===========  =========================================
+
+A bulk insert is recorded as **one compact range record** (contiguous
+rowids), not one record per row — the undo log stays O(statements), and
+reverse replay restores physical state identical to the per-row path.
 
 Replaying the records **in reverse order** restores the exact prior
 physical state — data, indexes, and arrival order — which the tests
@@ -37,7 +42,7 @@ a transaction is rejected.  Boundary costs (``txn_begin_us`` /
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any
 
 from ..common.errors import TransactionError
 from ..storage.table import Table
@@ -59,15 +64,22 @@ class UndoLog:
     _INSERT = 0
     _DELETE = 1
     _UPDATE = 2
+    _INSERT_MANY = 3
 
     def __init__(self) -> None:
-        #: (kind, table, rowid, old_row-or-None), oldest first
-        self._entries: list[tuple[int, Table, int, Optional[tuple]]] = []
+        #: (kind, table, rowid, extra), oldest first; ``extra`` is the old
+        #: row for delete/update, the row count for insert_many, else None
+        self._entries: list[tuple[int, Table, int, Any]] = []
 
     # -- WriteObserver protocol ----------------------------------------------
 
     def on_insert(self, table: Table, rowid: int) -> None:
         self._entries.append((self._INSERT, table, rowid, None))
+
+    def on_insert_many(self, table: Table, first_rowid: int, count: int) -> None:
+        """One compact range record for a bulk insert of ``count`` rows at
+        contiguous rowids — O(1) log space however large the batch."""
+        self._entries.append((self._INSERT_MANY, table, first_rowid, count))
 
     def on_delete(self, table: Table, rowid: int, old_row: tuple) -> None:
         self._entries.append((self._DELETE, table, rowid, old_row))
@@ -89,20 +101,25 @@ class UndoLog:
 
         ``mark=0`` undoes the whole transaction; a statement's pre-execution
         mark undoes just that statement's writes (statement-level atomicity
-        for multi-row DML that fails midway).  Returns the number of records
-        replayed so the caller can charge ``rows_undone``.
+        for multi-row DML that fails midway).  Returns the number of *rows*
+        replayed — a range record counts all its rows — so the caller can
+        charge ``rows_undone`` identically to the per-row path.
         """
         undone = 0
         entries = self._entries
         while len(entries) > mark:
-            kind, table, rowid, old_row = entries.pop()
+            kind, table, rowid, extra = entries.pop()
             if kind == self._INSERT:
                 table.delete_row(rowid)
+                undone += 1
             elif kind == self._DELETE:
-                table.restore_row(rowid, old_row)
-            else:
-                table.update_row(rowid, old_row)
-            undone += 1
+                table.restore_row(rowid, extra)
+                undone += 1
+            elif kind == self._UPDATE:
+                table.update_row(rowid, extra)
+                undone += 1
+            else:  # _INSERT_MANY: one compact record, ``extra`` rows
+                undone += table.delete_range(rowid, extra)
         return undone
 
     def clear(self) -> None:

@@ -37,6 +37,8 @@ class WriteObserver(Protocol):
 
     def on_insert(self, table: Table, rowid: int) -> None: ...
 
+    def on_insert_many(self, table: Table, first_rowid: int, count: int) -> None: ...
+
     def on_delete(self, table: Table, rowid: int, old_row: tuple) -> None: ...
 
     def on_update(self, table: Table, rowid: int, old_row: tuple) -> None: ...
@@ -145,6 +147,16 @@ class ExecutionContext:
             self.observer.on_insert(table, rowid)
         return rowid
 
+    def insert_many(self, table: Table, rows: Sequence[Sequence[Any]]) -> range:
+        """Bulk insert through :meth:`Table.insert_many`: one undo-log range
+        record and one counter update for the whole batch."""
+        rowids = table.insert_many(rows)
+        n = len(rowids)
+        self.counters["rows_inserted"] += n
+        if n and self.observer is not None:
+            self.observer.on_insert_many(table, rowids.start, n)
+        return rowids
+
     def delete(self, table: Table, rowid: int) -> tuple:
         old = table.delete_row(rowid)
         self.counters["rows_deleted"] += 1
@@ -228,13 +240,19 @@ class IndexScan:
             return  # col = NULL never matches
         pred = self.pred
         visible = table.is_visible
-        for rowid in index.lookup(key):
-            row = table.get(rowid)
-            if row is None or not visible(row):
-                continue
-            ctx.count("rows_scanned")
-            if pred is None or pred(row, params):
-                yield rowid, row
+        scanned = 0
+        # batched counter update (finally: a LIMIT may close this generator
+        # early and the rows already visited must still be counted)
+        try:
+            for rowid in index.lookup(key):
+                row = table.get(rowid)
+                if row is None or not visible(row):
+                    continue
+                scanned += 1
+                if pred is None or pred(row, params):
+                    yield rowid, row
+        finally:
+            ctx.count("rows_scanned", scanned)
 
 
 class IndexRangeScan:
@@ -273,13 +291,18 @@ class IndexRangeScan:
         ctx.count("index_probes")
         pred = self.pred
         visible = table.is_visible
-        for rowid in index.range_scan(lo, hi, lo_inclusive=self.lo_inc, hi_inclusive=self.hi_inc):
-            row = table.get(rowid)
-            if row is None or not visible(row):
-                continue
-            ctx.count("rows_scanned")
-            if pred is None or pred(row, params):
-                yield rowid, row
+        scanned = 0
+        # batched counter update (same early-close contract as above)
+        try:
+            for rowid in index.range_scan(lo, hi, lo_inclusive=self.lo_inc, hi_inclusive=self.hi_inc):
+                row = table.get(rowid)
+                if row is None or not visible(row):
+                    continue
+                scanned += 1
+                if pred is None or pred(row, params):
+                    yield rowid, row
+        finally:
+            ctx.count("rows_scanned", scanned)
 
 
 Scan = SeqScan | IndexScan | IndexRangeScan

@@ -40,7 +40,7 @@ prepared statement works on every partition with the same schema.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..common.errors import PlanningError
 from ..storage.catalog import Catalog
@@ -106,9 +106,15 @@ class PreparedStatement:
     facade stamps it with its schema epoch at prepare time so stale plans
     held across DDL are rejected instead of silently misbehaving.  It is
     ``None`` for statements planned outside a Database.
+
+    ``run_many`` is the vectorized batch binder, present only on statements
+    that support bulk execution (INSERT ... VALUES): called as
+    ``run_many(ctx, param_rows)`` it binds every parameter row, bulk-inserts
+    the whole batch as **one** statement execution, and returns the
+    rowcount.  ``Database.executemany`` routes through it when available.
     """
 
-    __slots__ = ("sql", "kind", "param_count", "columns", "epoch", "_runner")
+    __slots__ = ("sql", "kind", "param_count", "columns", "epoch", "_runner", "run_many")
 
     def __init__(
         self,
@@ -117,6 +123,7 @@ class PreparedStatement:
         param_count: int,
         runner: Runner,
         columns: tuple[str, ...] = (),
+        run_many: Optional[Callable[[ExecutionContext, Iterable[Sequence]], int]] = None,
     ):
         self.sql = sql
         self.kind = kind
@@ -124,6 +131,7 @@ class PreparedStatement:
         self.columns = columns
         self.epoch: Optional[int] = None
         self._runner = runner
+        self.run_many = run_many
 
     def execute(self, ctx: ExecutionContext) -> ResultSet:
         if len(ctx.params) < self.param_count:
@@ -901,13 +909,13 @@ def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
         def run_insert_select(ctx: ExecutionContext) -> ResultSet:
             result = inner.execute(ctx)  # materialised — safe for self-insert
             t = ctx.write_table(table_name)
-            n = 0
+            full_rows = []
             for row in result.rows:
                 full = list(defaults)
                 for slot, value in zip(slots, row):
                     full[slot] = value
-                ctx.insert(t, full)
-                n += 1
+                full_rows.append(full)
+            n = len(ctx.insert_many(t, full_rows))
             return ResultSet((), [], rowcount=n)
 
         return PreparedStatement(sql, "insert", param_count, run_insert_select)
@@ -923,16 +931,64 @@ def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
     def run_insert(ctx: ExecutionContext) -> ResultSet:
         t = ctx.write_table(table_name)
         params = ctx.params
-        n = 0
+        if len(row_fns) == 1:  # the single-row OLTP hot path: no batch setup
+            full = list(defaults)
+            for slot, fn in zip(slots, row_fns[0]):
+                full[slot] = fn((), params)
+            ctx.insert(t, full)
+            return ResultSet((), [], rowcount=1)
+        full_rows = []
         for fns in row_fns:
             full = list(defaults)
             for slot, fn in zip(slots, fns):
                 full[slot] = fn((), params)
-            ctx.insert(t, full)
-            n += 1
+            full_rows.append(full)
+        n = len(ctx.insert_many(t, full_rows))
         return ResultSet((), [], rowcount=n)
 
-    return PreparedStatement(sql, "insert", param_count, run_insert)
+    # Plan-time fact for the batch binder: a single VALUES row whose target
+    # list covers every column in schema order binds straight to a full row
+    # (no defaults template, no slot permutation) — the common bulk-load shape.
+    # An in-order *prefix* of the columns does not qualify: the unmentioned
+    # trailing columns still need their defaults.
+    full_width_in_order = (
+        len(row_fns) == 1
+        and len(slots) == len(defaults)
+        and slots == tuple(range(len(slots)))
+    )
+
+    def run_insert_many(ctx: ExecutionContext, param_rows: Iterable[Sequence]) -> int:
+        """Vectorized batch binder for ``executemany``: bind every parameter
+        row, then apply the whole batch as **one** bulk insert (one undo-log
+        range record, per-row work in tight loops)."""
+        t = ctx.write_table(table_name)
+        empty: tuple = ()
+        full_rows = []
+        if full_width_in_order:
+            fns = row_fns[0]
+            for params in param_rows:
+                if len(params) < param_count:
+                    raise PlanningError(
+                        f"statement requires {param_count} parameter(s), "
+                        f"got {len(params)}: {sql!r}"
+                    )
+                full_rows.append([fn(empty, params) for fn in fns])
+        else:
+            for params in param_rows:
+                if len(params) < param_count:
+                    raise PlanningError(
+                        f"statement requires {param_count} parameter(s), "
+                        f"got {len(params)}: {sql!r}"
+                    )
+                for fns in row_fns:
+                    full = list(defaults)
+                    for slot, fn in zip(slots, fns):
+                        full[slot] = fn(empty, params)
+                    full_rows.append(full)
+        return len(ctx.insert_many(t, full_rows))
+
+    return PreparedStatement(sql, "insert", param_count, run_insert,
+                             run_many=run_insert_many)
 
 
 # ---------------------------------------------------------------------------

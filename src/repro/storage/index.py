@@ -10,9 +10,12 @@ votes with "a lookup rather than a table scan").
 from __future__ import annotations
 
 import bisect
+from operator import itemgetter
 from typing import Any, Iterable, Iterator, Sequence
 
 from ..common.errors import ConstraintViolation
+
+_KEY0 = itemgetter(0)
 
 
 class HashIndex:
@@ -41,6 +44,31 @@ class HashIndex:
         else:
             self._map.setdefault(key, set()).add(rowid)  # type: ignore[union-attr]
 
+    def insert_many(self, keys: Sequence[tuple], first_rowid: int) -> None:
+        """Bulk insert: key ``i`` maps to rowid ``first_rowid + i``.
+
+        Keys containing NULL are skipped (NULL never indexes).  For unique
+        indexes the caller is expected to have pre-checked the whole batch
+        (including intra-batch duplicates); duplicates still raise here as
+        a last line of defence.
+        """
+        m = self._map
+        if self.unique:
+            for i, key in enumerate(keys):
+                if None in key:
+                    continue
+                if key in m:
+                    raise ConstraintViolation(
+                        f"unique index {self.name!r}: duplicate key {key!r}"
+                    )
+                m[key] = first_rowid + i
+        else:
+            setdefault = m.setdefault
+            for i, key in enumerate(keys):
+                if None in key:
+                    continue
+                setdefault(key, set()).add(first_rowid + i)  # type: ignore[union-attr]
+
     def delete(self, key: tuple, rowid: int) -> None:
         entry = self._map.get(key)
         if entry is None:
@@ -52,6 +80,14 @@ class HashIndex:
             entry.discard(rowid)  # type: ignore[union-attr]
             if not entry:
                 del self._map[key]
+
+    def delete_many(self, entries: Iterable[tuple[tuple, int]]) -> None:
+        """Bulk delete of ``(key, rowid)`` pairs in one loop.  Keys
+        containing NULL are skipped (they were never inserted)."""
+        for key, rowid in entries:
+            if None in key:
+                continue
+            self.delete(key, rowid)
 
     def lookup(self, key: tuple) -> Iterator[int]:
         """Row ids matching ``key`` exactly (deterministic order)."""
@@ -101,6 +137,32 @@ class OrderedIndex:
         self._keys.insert(pos, value)
         self._rowids.insert(pos, rowid)
 
+    def insert_many(self, keys: Sequence[tuple], first_rowid: int) -> None:
+        """Bulk insert: key ``i`` maps to rowid ``first_rowid + i``.
+
+        The batch is sorted once and merged with the existing contents —
+        the concatenation is two sorted runs, which Timsort merges in
+        O(n + m) — instead of paying one O(n) ``list.insert`` per key.
+        NULL keys are skipped (never indexed).  Stability of both sorts
+        keeps equal keys in arrival order, matching ``bisect_right``
+        insertion.
+        """
+        new = [
+            (key[0], first_rowid + i)
+            for i, key in enumerate(keys)
+            if key[0] is not None
+        ]
+        if not new:
+            return
+        new.sort(key=_KEY0)
+        if self._keys:
+            pairs = list(zip(self._keys, self._rowids))
+            pairs.extend(new)
+            pairs.sort(key=_KEY0)
+            new = pairs
+        self._keys = [k for k, _ in new]
+        self._rowids = [r for _, r in new]
+
     def delete(self, key: tuple, rowid: int) -> None:
         value = key[0]
         if value is None:
@@ -112,6 +174,20 @@ class OrderedIndex:
                 del self._keys[i]
                 del self._rowids[i]
                 return
+
+    def delete_many(self, entries: Iterable[tuple[tuple, int]]) -> None:
+        """Bulk delete of ``(key, rowid)`` pairs: one O(n) filter pass over
+        the sorted lists instead of one O(n) ``list.__delitem__`` per row."""
+        doomed = {rowid for _key, rowid in entries}
+        if not doomed:
+            return
+        keep_keys, keep_rowids = [], []
+        for value, rowid in zip(self._keys, self._rowids):
+            if rowid not in doomed:
+                keep_keys.append(value)
+                keep_rowids.append(rowid)
+        self._keys = keep_keys
+        self._rowids = keep_rowids
 
     def lookup(self, key: tuple) -> Iterator[int]:
         value = key[0]

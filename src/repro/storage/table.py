@@ -140,18 +140,64 @@ class Table:
         """Insert a full-width row; returns the new rowid.
 
         All unique constraints are checked before any index is touched so a
-        violation leaves the table unchanged.
+        violation leaves the table unchanged.  Each index key is computed
+        exactly once and shared between the unique check and index
+        maintenance.
         """
         row = self.schema.coerce_row(values)
-        self._check_unique(row)
+        keyed = self._index_keys(row)
+        self._check_unique_keyed(keyed)
         rowid = self._next_rowid
         self._next_rowid += 1
         self._rows[rowid] = row
-        for index in self.indexes.values():
-            key = self.schema.key_of(row, index.key_columns)
-            if self._indexable(index, key):
+        for index, key in keyed:
+            if key is not None:
                 index.insert(key, rowid)
         return rowid
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> range:
+        """Bulk insert; returns the contiguous range of new rowids.
+
+        The batch-oriented fast path (paper §3.2.1: the batch is the atomic
+        unit): the whole batch is coerced and unique-checked up front —
+        each index key computed exactly once, intra-batch duplicates
+        included — then rows are appended in one pass and every index is
+        maintained with a single loop.  A constraint violation anywhere in
+        the batch leaves the table completely unchanged: no rows, no index
+        entries, and no rowids consumed.  Arrival order is batch order.
+        """
+        coerce = self.schema.coerce_row
+        coerced = [coerce(values) for values in rows]
+        first = self._next_rowid
+        n = len(coerced)
+        if n == 0:
+            return range(first, first)
+        key_of = self.schema.key_of
+        per_index: list[tuple[Index, list[tuple]]] = []
+        for index in self.indexes.values():
+            cols = index.key_columns
+            keys = [key_of(row, cols) for row in coerced]
+            if getattr(index, "unique", False):
+                seen: set[tuple] = set()
+                for key in keys:
+                    if None in key:
+                        continue  # NULL keys are never indexed
+                    if key in seen or index.contains(key):
+                        raise ConstraintViolation(
+                            f"table {self.name!r}: duplicate key {key!r} for "
+                            f"index {index.name!r}"
+                        )
+                    seen.add(key)
+            per_index.append((index, keys))
+        self._next_rowid = first + n
+        store = self._rows
+        rowid = first
+        for row in coerced:
+            store[rowid] = row
+            rowid += 1
+        for index, keys in per_index:
+            index.insert_many(keys, first)
+        return range(first, first + n)
 
     def insert_mapping(self, mapping: dict[str, Any]) -> int:
         """Insert from a column→value mapping (missing columns default)."""
@@ -165,26 +211,71 @@ class Table:
         row = self._rows.pop(rowid, None)
         if row is None:
             raise NoSuchRowError(f"no row {rowid} in table {self.name!r}")
-        for index in self.indexes.values():
-            key = self.schema.key_of(row, index.key_columns)
-            if self._indexable(index, key):
+        for index, key in self._index_keys(row):
+            if key is not None:
                 index.delete(key, rowid)
         return row
 
+    def delete_many(self, rowids: Iterable[int]) -> int:
+        """Bulk delete by rowid; returns how many rows were removed.
+
+        Every rowid is validated before the first mutation (an unknown
+        rowid raises with nothing deleted), then the row dict is emptied in
+        one pass and each index is maintained with a single loop — ordered
+        indexes filter their sorted lists in one O(n) pass instead of one
+        O(n) splice per row.
+        """
+        store = self._rows
+        doomed: list[tuple[int, tuple]] = []
+        seen: set[int] = set()
+        for rowid in rowids:
+            row = store.get(rowid)
+            if row is None or rowid in seen:
+                # a duplicate targets a row the batch already deletes —
+                # rejected up front so nothing has been mutated yet
+                raise NoSuchRowError(
+                    f"no row {rowid} in table {self.name!r}"
+                    + (" (duplicate rowid in bulk delete)" if rowid in seen else "")
+                )
+            seen.add(rowid)
+            doomed.append((rowid, row))
+        if not doomed:
+            return 0
+        for rowid, _row in doomed:
+            del store[rowid]
+        key_of = self.schema.key_of
+        for index in self.indexes.values():
+            cols = index.key_columns
+            index.delete_many((key_of(row, cols), rowid) for rowid, row in doomed)
+        return len(doomed)
+
+    def delete_range(self, first_rowid: int, count: int) -> int:
+        """Delete the ``count`` rows at contiguous rowids starting at
+        ``first_rowid`` — the undo primitive matching :meth:`insert_many`'s
+        compact range undo record."""
+        return self.delete_many(range(first_rowid, first_rowid + count))
+
     def update_row(self, rowid: int, new_values: Sequence[Any]) -> tuple:
-        """Replace the row at ``rowid``; returns the old row (for undo)."""
+        """Replace the row at ``rowid``; returns the old row (for undo).
+
+        The new row's index keys are computed exactly once and shared
+        between the unique check and index maintenance.
+        """
         old = self._rows.get(rowid)
         if old is None:
             raise NoSuchRowError(f"no row {rowid} in table {self.name!r}")
         new = self.schema.coerce_row(new_values)
-        self._check_unique(new, ignore_rowid=rowid)
-        for index in self.indexes.values():
-            old_key = self.schema.key_of(old, index.key_columns)
-            new_key = self.schema.key_of(new, index.key_columns)
+        new_keyed = self._index_keys(new)
+        self._check_unique_keyed(new_keyed, ignore_rowid=rowid)
+        key_of = self.schema.key_of
+        for index, new_key in new_keyed:
+            old_key = key_of(old, index.key_columns)
+            if None in old_key:
+                old_key = None
             if old_key != new_key:
-                if self._indexable(index, old_key):
+                if old_key is not None:
                     index.delete(old_key, rowid)
-                if self._indexable(index, new_key):
+                if new_key is not None:
                     index.insert(new_key, rowid)
         self._rows[rowid] = new
         return old
@@ -207,9 +298,8 @@ class Table:
             prev = next(tail, None)
             if prev is not None and prev > rowid:
                 self._order_dirty = True
-        for index in self.indexes.values():
-            key = self.schema.key_of(row, index.key_columns)
-            if self._indexable(index, key):
+        for index, key in self._index_keys(row):
+            if key is not None:
                 index.insert(key, rowid)
         # rowids are never reused, even across undo
         if rowid >= self._next_rowid:
@@ -309,16 +399,27 @@ class Table:
     def _indexable(index: Index, key: tuple) -> bool:
         """Keys containing NULL are not stored in unique/ordered indexes
         (SQL: NULL is distinct from every value, including NULL)."""
-        if any(v is None for v in key):
-            return False
-        return True
+        return None not in key
 
-    def _check_unique(self, row: tuple, *, ignore_rowid: int | None = None) -> None:
+    def _index_keys(self, row: tuple) -> list[tuple[Index, tuple | None]]:
+        """One ``(index, key)`` pair per index, each key computed exactly
+        once per row; non-indexable keys (containing NULL) map to None."""
+        key_of = self.schema.key_of
+        out = []
         for index in self.indexes.values():
-            if not getattr(index, "unique", False):
-                continue
-            key = self.schema.key_of(row, index.key_columns)
-            if not self._indexable(index, key):
+            key = key_of(row, index.key_columns)
+            out.append((index, None if None in key else key))
+        return out
+
+    def _check_unique_keyed(
+        self,
+        keyed: list[tuple[Index, tuple | None]],
+        *,
+        ignore_rowid: int | None = None,
+    ) -> None:
+        """Unique-constraint check over precomputed index keys."""
+        for index, key in keyed:
+            if key is None or not getattr(index, "unique", False):
                 continue
             for existing in index.lookup(key):
                 if existing != ignore_rowid:

@@ -44,7 +44,7 @@ from ..common.errors import (
 )
 from ..storage.schema import TableKind, TableSchema
 from ..storage.table import Table
-from .stream import Batch, Stream, stream_schema
+from .stream import BATCH_COLUMN, Batch, Stream, stream_schema
 from .trigger import MAX_EE_DEPTH, EETrigger, PETrigger, TriggerContext
 from .window import Window, WindowSpec
 from .workflow import Workflow, find_cycle, stream_arcs
@@ -75,6 +75,19 @@ class _TxnOps:
         self._txn.undo.on_insert(table, rowid)
         self._db.clock.charge("rows_inserted", self._db.clock.cost.sql_row_us)
         return rowid
+
+    def insert_many(self, table: Table, rows: Sequence[Sequence[Any]]) -> range:
+        """Bulk insert: one undo-log range record and one (count-aggregated)
+        clock charge for the whole batch — identical events and simulated
+        time as per-row inserts, amortized bookkeeping."""
+        rowids = table.insert_many(rows)
+        n = len(rowids)
+        if n:
+            self._txn.undo.on_insert_many(table, rowids.start, n)
+            self._db.clock.charge(
+                "rows_inserted", self._db.clock.cost.sql_row_us * n, count=n
+            )
+        return rowids
 
     def update(self, table: Table, rowid: int, values: Sequence[Any]) -> None:
         old = table.update_row(rowid, values)
@@ -127,6 +140,8 @@ class StreamingRuntime:
         self.delivered: dict[tuple[str, str], int] = {}
         self.deliveries_done = 0
         self.delivery_retries = 0
+        #: lifetime rows dropped by stream garbage collection (all streams)
+        self.rows_reclaimed = 0
 
     # -- registry lookups -----------------------------------------------------
 
@@ -436,14 +451,18 @@ class StreamingRuntime:
                 )
         ops = _TxnOps(db, txn)
         db.clock.charge_cost("sql_stmt")  # the batch insert is one statement
-        ext_rows = []
-        for raw in rows:
-            declared = self._coerce_declared(stream, raw)
-            seq = stream.next_seq
-            stream.next_seq += 1
-            rowid = ops.insert(stream.table, declared + (batch_id, seq))
-            ext_rows.append(stream.table.get(rowid))  # post-coercion row
-        frozen = tuple(ext_rows)
+        # Vectorized batch apply: coerce the whole batch against the
+        # declared schema, stamp metadata, and bulk-insert in one pass —
+        # one undo range record, one index-maintenance loop per index.
+        declared_rows = [self._coerce_declared(stream, raw) for raw in rows]
+        seq0 = stream.next_seq
+        stream.next_seq = seq0 + len(declared_rows)
+        table = stream.table
+        rowids = ops.insert_many(
+            table,
+            [d + (batch_id, seq0 + i) for i, d in enumerate(declared_rows)],
+        )
+        frozen = tuple(table.get(rowid) for rowid in rowids)  # post-coercion rows
         for window in self._windows_by_source.get(stream.name, ()):
             if window.owner is None:
                 window.absorb(ops, frozen)
@@ -513,6 +532,11 @@ class StreamingRuntime:
         A failing delivery goes back to the head of the queue, the error
         propagates, and a later ``drain()`` retries it.  No-op while a
         drain is already running or a transaction is open.
+
+        After the queue empties, stream garbage collection runs (see
+        :meth:`_reclaim`): rows of batches every workflow subscriber has
+        consumed are dropped, so sustained ingest holds a bounded number of
+        rows per subscribed stream instead of growing without bound.
         """
         db = self._db
         if self._draining or db._txn is not None:
@@ -530,9 +554,48 @@ class StreamingRuntime:
                     raise
                 processed += 1
                 self.deliveries_done += 1
+            self._reclaim()
         finally:
             self._draining = False
         return processed
+
+    def _reclaim(self) -> int:
+        """Stream GC: bulk-drop rows of fully consumed batches.
+
+        A batch is reclaimable once **every** workflow subscription on its
+        stream has delivered past it.  The newest consumed batch (the
+        horizon) is retained, so the latest committed contents remain
+        queryable; everything older is physically deleted through the bulk
+        delete primitive (one index-maintenance loop per index).  Runs
+        outside any transaction — deliveries up to the horizon have
+        committed, so reclamation is post-commit maintenance (not
+        undo-logged), like checkpointing.  Returns rows reclaimed.
+        """
+        total = 0
+        for stream in self.streams.values():
+            subs = self._subscriptions.get(stream.name)
+            if not subs:
+                continue  # terminal streams keep their contents
+            horizon = min(
+                self.delivered.get((stream.name, procedure), 0)
+                for _workflow, procedure in subs
+            )
+            if horizon <= stream.gc_horizon:
+                continue
+            table = stream.table
+            batch_pos = table.schema.position(BATCH_COLUMN)
+            doomed = [
+                rowid
+                for rowid, row in table.scan()
+                if row[batch_pos] < horizon
+            ]
+            stream.gc_horizon = horizon
+            if doomed:
+                table.delete_many(doomed)
+                stream.reclaimed_rows += len(doomed)
+                total += len(doomed)
+        self.rows_reclaimed += total
+        return total
 
     def _deliver(self, delivery: _Delivery) -> None:
         db = self._db
@@ -581,6 +644,7 @@ class StreamingRuntime:
                     "last_batch": s.last_committed,
                     "pending_batches": sorted(s.pending),
                     "rows": s.table.row_count(),
+                    "reclaimed_rows": s.reclaimed_rows,
                 }
                 for s in self.streams.values()
             },
@@ -608,6 +672,7 @@ class StreamingRuntime:
                 "pending_deliveries": len(self._queue),
                 "delivered": self.deliveries_done,
                 "retries": self.delivery_retries,
+                "rows_reclaimed": self.rows_reclaimed,
             },
         }
 

@@ -83,6 +83,13 @@ class Stream:
     #: out-of-order future batches waiting for the gap to fill,
     #: ``batch_id -> raw rows`` as handed to ``ingest``
     pending: dict[int, Sequence[Any]] = field(default_factory=dict)
+    #: garbage-collection low-watermark: rows of batches **below** this id
+    #: have been reclaimed (every workflow subscriber consumed them); the
+    #: horizon batch itself is retained so the newest consumed contents
+    #: stay queryable
+    gc_horizon: int = 0
+    #: lifetime count of rows dropped by stream GC (``stats()`` surfaces it)
+    reclaimed_rows: int = 0
 
     @property
     def name(self) -> str:
