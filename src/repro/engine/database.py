@@ -49,15 +49,19 @@ from collections import Counter
 from contextlib import contextmanager
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
+from pathlib import Path
+
 from ..common.clock import CostModel, SimClock
 from ..common.errors import (
     NoSuchProcedureError,
     PlanningError,
     ProcedureError,
+    RecoveryError,
     SchemaError,
     TransactionAborted,
     TransactionError,
 )
+from ..recovery.manager import RecoveryManager
 from ..sql.executor import ExecutionContext, ResultSet
 from ..sql.planner import PreparedStatement, prepare
 from ..storage.catalog import Catalog
@@ -94,7 +98,55 @@ class Database:
         cost: Optional[CostModel] = None,
         clock: Optional[SimClock] = None,
         plan_cache_size: int = 256,
+        recovery_dir: Optional[str | Path] = None,
+        recovery: str = "strong",
+        bootstrap=None,
+        group_commit: int = 8,
+        group_commit_bytes: int = 64 * 1024,
+        verify_recovery: bool = False,
+        readonly: bool = False,
     ):
+        """Open one partition's engine.
+
+        Args:
+            cost: cost table for the simulated clock (mutually exclusive
+                with ``clock``); defaults to ``CostModel.calibrated()``.
+            clock: an externally owned :class:`SimClock` to charge on.
+            plan_cache_size: LRU capacity of the plan cache (SQL texts).
+            recovery_dir: directory for the command log and checkpoints.
+                When given, the database is **durable**: every committed
+                transaction is command-logged, ``checkpoint()`` works,
+                and opening runs crash recovery (see ``recovery``).
+            recovery: ``"strong"`` replays every logged transaction
+                exactly; ``"weak"`` replays only dataflow inputs and
+                re-drives workflow DAGs through the scheduler (paper
+                §4.4).  Ignored without ``recovery_dir``.
+            bootstrap: ``fn(db)`` that re-creates the deployment — all
+                DDL (tables, streams, windows, indexes, workflows) and
+                procedure/trigger registrations.  DDL is *not* logged
+                (H-Store's model: schema and procedures are deployed,
+                commands are replayed against them), so with
+                ``recovery_dir`` all DDL belongs in the bootstrap.  Runs
+                before recovery; also runs when given without
+                ``recovery_dir`` (pure convenience).
+            group_commit: command-log records buffered per fsync (1 =
+                synchronous logging; the default batches 8).
+            group_commit_bytes: byte threshold that also forces a flush.
+            verify_recovery: with ``recovery="weak"``, additionally run
+                strong recovery on a read-only shadow and raise
+                :class:`RecoveryError` unless both reach the identical
+                ``Catalog.snapshot()``.
+            readonly: recover state but never write to the recovery
+                directory (no log appends, no checkpoints) — for
+                inspection and weak-recovery verification.
+
+        Raises:
+            ValueError: both ``cost`` and ``clock`` given, or an unknown
+                ``recovery`` mode.
+            RecoveryError: the log or a checkpoint is damaged beyond the
+                torn-tail contract, or references schema objects the
+                bootstrap did not create.
+        """
         if cost is not None and clock is not None:
             raise ValueError(
                 "pass either cost= or clock=, not both (a SimClock carries "
@@ -127,6 +179,32 @@ class Database:
         #: layer's visibility/DML rules; deliberately not exposed through
         #: any public signature.
         self._guard = self.streaming.guard
+        #: durability sidecar (command log + checkpoints); None = memory-only
+        self._recovery: Optional[RecoveryManager] = None
+        if recovery_dir is not None:
+            self._recovery = RecoveryManager(
+                self,
+                recovery_dir,
+                mode=recovery,
+                bootstrap=bootstrap,
+                group_size=group_commit,
+                group_bytes=group_commit_bytes,
+                verify=verify_recovery,
+                readonly=readonly,
+            )
+            self._recovery.open()
+        elif bootstrap is not None:
+            bootstrap(self)
+
+    @property
+    def _log_capture(self) -> Optional[RecoveryManager]:
+        """The recovery manager, iff it is capturing commits right now
+        (None while memory-only, replaying, or read-only) — the engine's
+        single check before paying any logging cost."""
+        recovery = self._recovery
+        if recovery is not None and recovery.active:
+            return recovery
+        return None
 
     # -- DDL -----------------------------------------------------------------
 
@@ -169,6 +247,18 @@ class Database:
         ``__batch_id__``/``__seq__`` metadata columns; ``SELECT *`` and
         ``stats()`` keep showing the declared shape.  Write access is
         exclusively through :meth:`ingest` / ``ctx.emit`` atomic batches.
+        Like all DDL, not command-logged: with recovery enabled, create
+        streams in the ``bootstrap``.
+
+        Returns:
+            The registered :class:`Stream`.
+
+        Raises:
+            SchemaError: a declared column name uses the reserved ``__``
+                prefix.
+            DuplicateTableError: the name is taken.
+            TransactionError: called inside a transaction (DDL is
+                auto-commit only).
         """
         self._reject_ddl_in_txn("CREATE STREAM")
         stream = self.streaming.create_stream(schema)
@@ -194,6 +284,15 @@ class Database:
         that stored procedure's invocations and advances inside the owner's
         workflow-delivery transactions; unowned windows advance inside the
         transaction that ingests each batch.
+
+        Returns:
+            The registered :class:`Window`.
+
+        Raises:
+            SchemaError: invalid size/slide/unit combination.
+            StreamingError: ``source`` is not a stream, or ``owner`` is
+                not a registered procedure.
+            TransactionError: called inside a transaction.
         """
         self._reject_ddl_in_txn("CREATE WINDOW")
         window = self.streaming.create_window(
@@ -223,7 +322,17 @@ class Database:
         ``(in_stream, procedure, out_stream)`` tuples: each committed batch
         in ``in_stream`` runs ``procedure`` once, as one transaction, with
         that :class:`~repro.streaming.stream.Batch`.  Deliveries are
-        exactly-once in batch-id order; cycles are rejected.
+        exactly-once in batch-id order — a guarantee that survives crashes
+        when recovery is enabled; cycles are rejected.
+
+        Returns:
+            The validated :class:`Workflow`.
+
+        Raises:
+            WorkflowError: malformed edge, unknown stream/procedure,
+                duplicate subscription, or a cycle (including across
+                previously registered workflows).
+            TransactionError: called inside a transaction.
         """
         self._reject_ddl_in_txn("CREATE WORKFLOW")
         return self.streaming.create_workflow(name, edges)
@@ -233,26 +342,133 @@ class Database:
     def ingest(self, stream: str, rows, batch_id: Optional[int] = None) -> list[int]:
         """Ingest one atomic batch into ``stream`` as one transaction.
 
-        Returns the list of batch ids applied: ``[batch_id]`` normally,
-        ``[]`` when the batch was queued (arrived from the future), or
-        several ids when this batch filled a gap and queued successors were
-        applied behind it.  Committed batches trigger downstream workflow
-        procedures before this call returns (see :meth:`drain`).
+        Committed batches trigger downstream workflow procedures before
+        this call returns (see :meth:`drain`).  With recovery enabled,
+        each *applied* batch is command-logged with its rows — ingests
+        are the dataflow's border inputs, the records weak recovery
+        replays.  Batches queued for the future are **not** durable until
+        applied; after a crash the client must resubmit them.
+
+        Args:
+            stream: target stream name (created via :meth:`create_stream`).
+            rows: the batch — tuples in declared-column order, or
+                column→value mappings.
+            batch_id: explicit atomic-batch id; defaults to the next id
+                after the newest batch the stream has seen.
+
+        Returns:
+            The batch ids applied, in order: ``[batch_id]`` normally,
+            ``[]`` when the batch was queued (arrived from the future),
+            or several ids when this batch filled a gap and queued
+            successors were applied behind it.
+
+        Raises:
+            BatchOrderError: ``batch_id`` is at or before the stream's
+                committed watermark, or duplicates a queued batch.
+            SchemaError: a row does not match the declared schema.
+            NoSuchTableError | StreamingError: ``stream`` is unknown or
+                not a stream.
+            TransactionError: called while a transaction is open (each
+                batch is its own transaction; use ``ctx.emit`` inside
+                procedures).
         """
         return self.streaming.ingest(stream, rows, batch_id)
 
     def drain(self) -> int:
-        """Run pending workflow/PE-trigger deliveries to completion;
-        returns how many were processed.  A delivery whose transaction
-        aborts stays queued and the error propagates — call ``drain()``
-        again to retry it (exactly-once: the aborted attempt rolled back).
+        """Run pending workflow/PE-trigger deliveries to completion.
+
+        A delivery whose transaction aborts stays queued and the error
+        propagates — call ``drain()`` again to retry it (exactly-once:
+        the aborted attempt rolled back, so the retry's effects happen
+        once).  After a **strong** recovery, regenerated
+        committed-but-undelivered hops wait in the queue; the first
+        ``drain()`` resumes the dataflow where the crash cut it.
 
         After the queue empties, stream garbage collection drops rows of
         batches that every workflow subscriber has fully consumed (keeping
         the newest consumed batch), so sustained ingest does not grow
         memory without bound; ``stats()["streaming"]`` reports per-stream
-        and total ``reclaimed_rows``."""
+        and total ``reclaimed_rows``.
+
+        Returns:
+            How many deliveries were processed.
+
+        Raises:
+            ProcedureError | TransactionAborted: a delivery's procedure
+                failed; the delivery stays queued for retry.
+            ScheduleViolation: the scheduler observed a non-monotonic
+                batch id for a subscription (internal invariant).
+        """
         return self.streaming.drain()
+
+    # -- durability (paper §3.1, §4.4) ----------------------------------------
+
+    def checkpoint(self, path: Optional[str | Path] = None) -> Path:
+        """Write a checkpoint of all durable state; returns its path.
+
+        A checkpoint is one checksummed file holding the full
+        ``Catalog.snapshot()`` (tables, streams, windows — rowids, rows,
+        next-rowid) plus the streaming runtime's watermarks and scheduler
+        positions.  With no ``path``, the checkpoint is *managed*: it
+        lands in the recovery directory, the command log is truncated up
+        to the checkpoint's LSN, and older checkpoints are pruned (the
+        newest two are kept — the predecessor is the fallback should a
+        crash tear the newest).  With an explicit ``path``, the snapshot
+        is exported there and the log is left untouched.
+
+        Args:
+            path: optional export destination (outside the managed
+                recovery directory).
+
+        Returns:
+            The path of the written checkpoint file.
+
+        Raises:
+            TransactionError: a transaction is open (checkpoints are
+                consistent cuts between transactions).
+            RecoveryError: the database has no ``recovery_dir`` and no
+                explicit ``path`` was given, or it was opened
+                ``readonly``.
+
+        Charges ``snapshot_row_us`` per serialised row.
+        """
+        if self._txn is not None:
+            raise TransactionError(
+                f"cannot checkpoint while transaction {self._txn.txn_id} is "
+                f"open (checkpoints are consistent cuts between transactions)"
+            )
+        if self._recovery is not None:
+            return self._recovery.checkpoint(path)
+        if path is None:
+            raise RecoveryError(
+                "this database has no recovery_dir; pass an explicit path "
+                "to export a standalone checkpoint"
+            )
+        from ..recovery.checkpoint import write_checkpoint
+
+        return write_checkpoint(
+            path,
+            {
+                "lsn": 0,
+                "catalog": self.catalog.snapshot(),
+                "streaming": self.streaming.persistent_state(),
+            },
+            self.clock,
+        )
+
+    def flush_log(self) -> None:
+        """Force the command log's group-commit buffer to disk (one
+        batched fsync).  The durability window closes here: everything
+        committed so far survives a crash.  No-op without recovery."""
+        if self._recovery is not None:
+            self._recovery.flush()
+
+    def close(self) -> None:
+        """Flush and close the command log.  The database remains
+        queryable in memory, but further commits are no longer captured;
+        idempotent, and a no-op without recovery."""
+        if self._recovery is not None:
+            self._recovery.close()
 
     def create_index(
         self,
@@ -300,11 +516,21 @@ class Database:
     # -- transactions ----------------------------------------------------------
 
     def begin(self) -> Transaction:
-        """Open an explicit transaction (single-partition serial model:
-        at most one open transaction; nesting is an error).  The caller
-        owns the handle and must :meth:`~Transaction.commit` or
-        :meth:`~Transaction.abort` it; prefer ``with db.transaction():``
-        which does so automatically."""
+        """Open an explicit transaction.
+
+        The caller owns the handle and must :meth:`~Transaction.commit`
+        or :meth:`~Transaction.abort` it; prefer ``with
+        db.transaction():`` which does so automatically.  With recovery
+        enabled, the statements that wrote are logged as one ``txn``
+        record when the transaction commits.
+
+        Returns:
+            The open :class:`Transaction` handle.
+
+        Raises:
+            TransactionError: a transaction is already open
+                (single-partition serial model: no nesting).
+        """
         return self._begin(implicit=False)
 
     @contextmanager
@@ -313,6 +539,12 @@ class Database:
 
         A transaction already finished inside the block (manual
         ``txn.abort()``/``txn.commit()``) is left as-is on exit.
+
+        Yields:
+            The open :class:`Transaction` handle.
+
+        Raises:
+            TransactionError: a transaction is already open.
         """
         txn = self.begin()
         try:
@@ -357,6 +589,12 @@ class Database:
         self.clock.charge_cost(event)
         if event == "txn_commit":
             self.txn_stats["committed"] += 1
+            # Command logging rides the commit path, before post-commit
+            # hooks fire, so parent records precede the downstream
+            # deliveries they trigger.
+            capture = self._log_capture
+            if capture is not None:
+                capture.on_commit(txn)
         else:
             self.txn_stats["aborted"] += 1
             # aborted transactions publish no stream batches (no PE triggers)
@@ -377,7 +615,17 @@ class Database:
             @db.register_procedure                      # bare decorator
             def vote(ctx, contestant_id): ...           # name = fn.__name__
 
-        Procedure names are case-insensitive and must be unique.
+        Procedure names are case-insensitive and must be unique.  With
+        recovery enabled, bodies must be **deterministic** — recovery
+        re-invokes them with the logged arguments and expects identical
+        effects.
+
+        Returns:
+            ``fn`` (so the decorator forms compose), or the decorator
+            itself in the named-decorator form.
+
+        Raises:
+            ValueError: the name is already registered.
         """
         if callable(name) and fn is None:  # bare-decorator form
             return self.register_procedure(name.__name__, name)
@@ -397,11 +645,29 @@ class Database:
 
         The body runs with a :class:`ProcedureContext`; its statements use
         the procedure's pinned compile-once plans.  On return the
-        transaction commits and the body's return value is passed through.
-        On exception the transaction rolls back: :class:`TransactionAborted`
-        (including :class:`UserAbort` from ``ctx.abort()``) propagates
-        unwrapped, any other exception is wrapped in
-        :class:`ProcedureError` with the original as ``__cause__``.
+        transaction commits (and, with recovery enabled, a ``call``
+        record with ``name`` and ``args`` is command-logged — replay
+        re-invokes the procedure, so bodies must be deterministic and
+        args JSON-safe).  On exception the transaction rolls back.
+
+        Args:
+            name: registered procedure name (case-insensitive).
+            args: positional arguments passed to the body after ``ctx``.
+
+        Returns:
+            The body's return value.
+
+        Raises:
+            NoSuchProcedureError: ``name`` is not registered.
+            TransactionAborted: the body aborted (including
+                :class:`UserAbort` from ``ctx.abort()``); propagates
+                unwrapped after rollback.
+            ProcedureError: the body raised any other exception; wrapped
+                with the original as ``__cause__`` after rollback.
+            TransactionError: a transaction is already open (serial
+                model: procedures cannot nest inside transactions).
+            RecoveryError: recovery is enabled and ``args`` are not
+                JSON-serialisable.
         """
         proc = self._procedures.get(name.lower())
         if proc is None:
@@ -413,20 +679,40 @@ class Database:
         self.streaming.drain()
         return result
 
-    def _call_procedure(self, proc: StoredProcedure, args: Sequence[Any], *, before=None) -> Any:
+    def _call_procedure(
+        self,
+        proc: StoredProcedure,
+        args: Sequence[Any],
+        *,
+        before=None,
+        log_record: Optional[dict] = None,
+    ) -> Any:
         """Run one procedure invocation as one transaction.
 
         ``before(ctx)``, when given, runs inside the transaction ahead of
         the body — the streaming runtime uses it to advance owned windows
         within a workflow-delivery transaction, so an abort rolls the
         window back together with the body's writes.
+
+        ``log_record`` overrides the command-log record written when the
+        transaction commits: workflow deliveries pass their
+        ``{"op": "delivery", ...}`` record so replay re-drives the
+        delivery (batch rebuilt from the stream table) instead of
+        treating it as a client ``call``.
         """
         if self._txn is not None:
             raise TransactionError(
                 f"cannot invoke procedure {proc.name!r}: transaction "
                 f"{self._txn.txn_id} is already open (serial model)"
             )
+        capture = self._log_capture
+        if capture is not None and log_record is None:
+            # build + validate the record while nothing has happened yet:
+            # unserialisable args must fail before the transaction opens
+            log_record = capture.call_record(proc.name, args)
         txn = self._begin(implicit=False)
+        if capture is not None:
+            txn.log_record = log_record
         self.txn_stats["procedure_calls"] += 1
         ctx = ProcedureContext(self, proc, txn)
         prev_proc = self._current_proc
@@ -462,7 +748,19 @@ class Database:
     def prepare(self, sql: str) -> PreparedStatement:
         """Fetch the prepared statement for ``sql``, planning it on a cache
         miss.  A hit charges ``plan_cache_hit_us``; a miss charges the full
-        ``sql_plan_us`` compile cost."""
+        ``sql_plan_us`` compile cost.
+
+        Args:
+            sql: one statement (the exact text is the cache key).
+
+        Returns:
+            The compiled :class:`PreparedStatement`, stamped with the
+            current schema epoch.
+
+        Raises:
+            LexError | ParseError | PlanningError: the SQL is invalid
+                against the current schema.
+        """
         stmt = self.plan_cache.get(sql)
         if stmt is not None:
             self.clock.charge_cost("plan_cache_hit")
@@ -476,10 +774,34 @@ class Database:
     # -- execution -------------------------------------------------------------
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
-        """Execute one statement (through the plan cache).
+        """Execute one SQL statement (through the plan cache).
 
         Joins the open transaction if there is one; otherwise runs as an
-        implicit single-statement transaction (auto-commit)."""
+        implicit single-statement transaction (auto-commit), so even a
+        multi-row statement that fails midway leaves no partial writes.
+        With recovery enabled, a statement that wrote is captured in the
+        transaction's command-log record at commit.
+
+        Args:
+            sql: one statement (SELECT/INSERT/UPDATE/DELETE); ``?``
+                placeholders bind positionally.
+            params: bind values, one per ``?`` (JSON-safe values required
+                when recovery is enabled).
+
+        Returns:
+            A :class:`ResultSet` — rows and column names for SELECT, a
+            ``rowcount`` for DML.
+
+        Raises:
+            LexError | ParseError | PlanningError: the SQL is invalid.
+            ConstraintViolation: a NOT NULL / UNIQUE / PRIMARY KEY rule
+                was violated (the statement's writes are rolled back).
+            StreamingError: direct DML against a stream or window table
+                (use :meth:`ingest` / ``ctx.emit``).
+            WindowVisibilityError: reading an owned window outside its
+                owning procedure.
+            TransactionError: the enclosing transaction is no longer live.
+        """
         return self.execute_prepared(self.prepare(sql), params)
 
     def execute_prepared(
@@ -487,15 +809,32 @@ class Database:
     ) -> ResultSet:
         """Execute an already-prepared statement (no cache interaction).
 
-        Same transactional behaviour as :meth:`execute`.  Rejects
-        statements prepared before the last schema change — a stale plan
-        could silently read the wrong columns or probe a dropped index;
+        Same transactional behaviour, capture, and errors as
+        :meth:`execute`, plus: rejects statements prepared before the
+        last schema change (:class:`PlanningError`) — a stale plan could
+        silently read the wrong columns or probe a dropped index;
         re-prepare (or go through :meth:`execute`) after DDL."""
         txn = self._txn
+        capture = self._log_capture
         if txn is not None:
-            return self._execute(stmt, params, txn)
+            if capture is None:
+                return self._execute(stmt, params, txn)
+            mark = len(txn.undo)
+            result = self._execute(stmt, params, txn)
+            if len(txn.undo) > mark:
+                try:
+                    capture.record_statement(txn, stmt.sql, params)
+                except RecoveryError:
+                    # uncapturable params: undo this statement so the open
+                    # transaction stays consistent with its eventual record
+                    self._charge_undone(txn.undo.rollback_to(mark))
+                    raise
+            return result
         with self._implicit_txn() as txn:
-            return self._execute(stmt, params, txn)
+            result = self._execute(stmt, params, txn)
+            if capture is not None and len(txn.undo) > 0:
+                capture.record_statement(txn, stmt.sql, params)
+        return result
 
     def executemany(self, sql: str, param_rows: Iterable[Sequence[Any]]) -> int:
         """Apply one statement across a batch of parameter rows; returns the
@@ -514,14 +853,44 @@ class Database:
         no vectorized binder fall back to one execution per parameter row
         (still one prepare, still atomic).  After the batch,
         :attr:`last_counters` holds the **aggregate** counters across all
-        parameter rows."""
+        parameter rows.
+
+        Args:
+            sql: one statement with ``?`` placeholders.
+            param_rows: an iterable of bind-value rows (materialised up
+                front when recovery is enabled, so the whole batch can
+                ride in one command-log record).
+
+        Returns:
+            The total rowcount across the batch.
+
+        Raises:
+            Everything :meth:`execute` can raise; a failure anywhere in
+            the batch rolls back the entire batch.
+        """
         stmt = self.prepare(sql)
         txn = self._txn
+        capture = self._log_capture
+        if capture is not None:
+            # the logical command is (sql, all rows): materialise so the
+            # batch can ride in one command-log record
+            param_rows = [list(row) for row in param_rows]
         if stmt.run_many is not None:
             if txn is not None:
-                return self._execute_bulk(stmt, param_rows, txn)
+                mark = len(txn.undo)
+                total = self._execute_bulk(stmt, param_rows, txn)
+                if capture is not None and len(txn.undo) > mark:
+                    try:
+                        capture.record_many(txn, sql, param_rows)
+                    except RecoveryError:
+                        self._charge_undone(txn.undo.rollback_to(mark))
+                        raise
+                return total
             with self._implicit_txn() as txn:
-                return self._execute_bulk(stmt, param_rows, txn)
+                total = self._execute_bulk(stmt, param_rows, txn)
+                if capture is not None and len(txn.undo) > 0:
+                    capture.record_many(txn, sql, param_rows)
+            return total
         batch: Counter[str] = Counter()
         if txn is not None:
             # batch-level savepoint: the whole batch rolls back together,
@@ -529,12 +898,16 @@ class Database:
             mark = txn.undo.mark()
             try:
                 total = self._execute_batch(stmt, param_rows, txn, batch)
+                if capture is not None and len(txn.undo) > mark:
+                    capture.record_many(txn, sql, param_rows)
             except BaseException:
                 self._charge_undone(txn.undo.rollback_to(mark))
                 raise
         else:
             with self._implicit_txn() as txn:
                 total = self._execute_batch(stmt, param_rows, txn, batch)
+                if capture is not None and len(txn.undo) > 0:
+                    capture.record_many(txn, sql, param_rows)
         self.last_counters = batch
         return total
 
@@ -575,7 +948,18 @@ class Database:
         return total
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[dict[str, Any]]:
-        """Convenience: execute and return rows as dicts."""
+        """Convenience wrapper over :meth:`execute`.
+
+        Args:
+            sql: one statement; ``?`` placeholders bind positionally.
+            params: bind values, one per ``?``.
+
+        Returns:
+            The result rows as ``{column: value}`` dicts.
+
+        Raises:
+            Everything :meth:`execute` can raise.
+        """
         return self.execute(sql, params).to_dicts()
 
     def _execute(
@@ -638,11 +1022,23 @@ class Database:
                 clock.charge(event, getattr(cost, attr) * n, count=n)
 
     def stats(self) -> dict[str, Any]:
-        """One snapshot for dashboards/benchmarks: time, events, schema
-        epoch, transaction tallies, cache, tables, streaming state.
+        """One snapshot for dashboards/benchmarks.
+
+        Returns:
+            A dict with ``sim_time_us`` (simulated clock), ``events``
+            (architectural event tallies), ``schema_epoch``,
+            ``counters`` (lifetime execution counters),
+            ``transactions`` (begun/committed/aborted/implicit/
+            procedure_calls/open), ``procedures`` (pinned-plan counts),
+            ``plan_cache`` (hits/misses/evictions), ``tables``
+            (row counts, kinds, declared columns), ``streaming``
+            (watermarks, windows, trigger fires, scheduler state), and
+            ``recovery`` (command-log/checkpoint state and what the
+            open-time recovery replayed; None when memory-only).
 
         Table column listings show the *declared* schema only — hidden
-        ``__``-prefixed metadata columns are engine-internal.
+        ``__``-prefixed metadata columns are engine-internal.  Never
+        raises; safe to call at any point between statements.
         """
         return {
             "sim_time_us": self.clock.now_us,
@@ -666,6 +1062,7 @@ class Database:
                 for t in self.catalog.tables()
             },
             "streaming": self.streaming.stats(),
+            "recovery": self._recovery.stats() if self._recovery is not None else None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -27,6 +27,17 @@ Registration and invocation go through the ``Database`` facade::
         return ctx.execute("SELECT n FROM votes WHERE id = ?", (contestant_id,)).scalar()
 
     db.call("vote", 3)   # one transaction: commit on return, rollback on raise
+
+**Determinism is the recovery contract** (paper §3.1/§4.4): with
+``recovery_dir=`` the command log records a committed ``db.call`` as just
+``(name, args)`` and crash recovery *re-invokes the body* — so a body
+must be a deterministic function of its arguments and database state (no
+wall-clock reads, no randomness, no external I/O), and its arguments
+must be JSON-serialisable.  Statements run through ``ctx.execute`` are
+deliberately **not** logged individually; the invocation record covers
+them.  The same applies to workflow deliveries, which are procedure
+invocations whose argument is a replayable
+:class:`~repro.streaming.stream.Batch`.
 """
 
 from __future__ import annotations

@@ -147,7 +147,17 @@ class Transaction:
     COMMITTED = "committed"
     ABORTED = "aborted"
 
-    __slots__ = ("txn_id", "undo", "state", "implicit", "_db", "_commit_hooks")
+    __slots__ = (
+        "txn_id",
+        "undo",
+        "state",
+        "implicit",
+        "wrote",
+        "log_record",
+        "log_cmds",
+        "_db",
+        "_commit_hooks",
+    )
 
     def __init__(self, db: "Database", txn_id: int, *, implicit: bool = False):
         self._db = db
@@ -156,6 +166,18 @@ class Transaction:
         self.state = self.ACTIVE
         #: True for the auto-commit wrapper around a bare ``db.execute()``
         self.implicit = implicit
+        #: True once committed with at least one physical write (captured
+        #: before the undo log is cleared); read-only transactions need no
+        #: command-log record.
+        self.wrote = False
+        #: Preset logical command-log record for this transaction (set by
+        #: the ingest / procedure-call / workflow-delivery paths); when
+        #: None, the record is assembled from :attr:`log_cmds` instead.
+        self.log_record = None
+        #: Captured ad-hoc statements ``("sql"|"many", text, params)`` in
+        #: execution order — the logical command list of an explicit or
+        #: implicit client transaction.  Discarded on abort.
+        self.log_cmds: list = []
         #: Callables run once, after a successful commit has fully closed the
         #: transaction (the paper's PE-trigger firing point, §3.2.3).  An
         #: abort discards them unrun — an aborted ingest fires no triggers.
@@ -185,6 +207,7 @@ class Transaction:
     def commit(self) -> None:
         """Make the transaction's writes permanent and close it."""
         self._require_active("commit")
+        self.wrote = len(self.undo) > 0
         self.undo.clear()
         self.state = self.COMMITTED
         self._db._txn_closed(self, "txn_commit")

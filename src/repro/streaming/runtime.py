@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any, Optional, Sequence
 from ..common.errors import (
     BatchOrderError,
     NoSuchTableError,
+    RecoveryError,
     ScheduleViolation,
     SchemaError,
     StreamingError,
@@ -142,6 +143,11 @@ class StreamingRuntime:
         self.delivery_retries = 0
         #: lifetime rows dropped by stream garbage collection (all streams)
         self.rows_reclaimed = 0
+        #: recovery-replay mode: None (normal), "strong" (watermarks only,
+        #: deliveries come from the log), or "weak" (deliveries regenerate
+        #: through the scheduler, user PE triggers stay suppressed — their
+        #: transactional effects replay from their own log records)
+        self.replay_mode: Optional[str] = None
 
     # -- registry lookups -----------------------------------------------------
 
@@ -384,9 +390,23 @@ class StreamingRuntime:
 
     def _apply_batch(self, stream: Stream, batch_id: int, rows) -> None:
         db = self._db
+        capture = db._log_capture
+        if capture is not None:
+            # Coerce up front so the logged rows are the canonical declared
+            # tuples a replayed ingest will re-coerce identically
+            # (idempotent); the batch is the dataflow's external input, so
+            # its rows must ride in the log record itself.
+            rows = [self._coerce_declared(stream, raw) for raw in rows]
         txn = db._begin(implicit=True)
+        if capture is not None:
+            txn.log_record = {
+                "op": "ingest",
+                "stream": stream.name,
+                "batch_id": batch_id,
+                "rows": [list(r) for r in rows],
+            }
         try:
-            self._emit_into(txn, stream, batch_id, rows)
+            self._emit_into(txn, stream, batch_id, rows, coerced=capture is not None)
         except BaseException:
             txn.abort()
             raise
@@ -429,9 +449,21 @@ class StreamingRuntime:
         self._emit_into(txn, stream, batch_id, rows)
         return batch_id
 
-    def _emit_into(self, txn: "Transaction", stream: Stream, batch_id: int, rows) -> None:
+    def _emit_into(
+        self,
+        txn: "Transaction",
+        stream: Stream,
+        batch_id: int,
+        rows,
+        *,
+        coerced: bool = False,
+    ) -> None:
         """The one write path into a stream: insert the batch (undo-logged),
-        advance unowned windows, fire EE triggers, stage for publication."""
+        advance unowned windows, fire EE triggers, stage for publication.
+
+        ``coerced=True`` marks ``rows`` as already declared-width canonical
+        tuples (the durable ingest path coerces up front for its log
+        record), skipping a second per-row coercion pass."""
         db = self._db
         # Fail fast on a miswired pipeline: an owned window only advances
         # through deliveries of its source stream to its owner, so batches
@@ -454,7 +486,10 @@ class StreamingRuntime:
         # Vectorized batch apply: coerce the whole batch against the
         # declared schema, stamp metadata, and bulk-insert in one pass —
         # one undo range record, one index-maintenance loop per index.
-        declared_rows = [self._coerce_declared(stream, raw) for raw in rows]
+        if coerced:
+            declared_rows = rows if isinstance(rows, list) else list(rows)
+        else:
+            declared_rows = [self._coerce_declared(stream, raw) for raw in rows]
         seq0 = stream.next_seq
         stream.next_seq = seq0 + len(declared_rows)
         table = stream.table
@@ -507,14 +542,28 @@ class StreamingRuntime:
 
     def _publish(self, txn_id: int) -> None:
         """Commit hook: advance stream watermarks, fire (charge + enqueue)
-        PE triggers and workflow subscriptions for every committed batch."""
+        PE triggers and workflow subscriptions for every committed batch.
+
+        During recovery replay the enqueue side is filtered: under
+        **strong** replay nothing is enqueued (every delivery replays from
+        its own log record; the tail the log never saw is regenerated from
+        watermarks afterwards); under **weak** replay workflow deliveries
+        enqueue normally — regenerating them *is* weak recovery — but user
+        PE triggers stay suppressed, because their transactional effects
+        were logged as their own records and replaying both would double
+        them.
+        """
         db = self._db
+        replay = self.replay_mode
         for stream, batch_id, ext_rows in self._txn_staged.pop(txn_id, ()):
             stream.last_committed = max(stream.last_committed, batch_id)
+            if replay == "strong":
+                continue
             batch = Batch(stream.name, batch_id, _strip(ext_rows, stream.declared.arity()))
-            for trigger in self._pe_triggers.get(stream.name, ()):
-                db.clock.charge_cost("pe_trigger")
-                self._enqueue(_Delivery(batch, ext_rows, "pe_fn", trigger.name, trigger.fn))
+            if replay is None:
+                for trigger in self._pe_triggers.get(stream.name, ()):
+                    db.clock.charge_cost("pe_trigger")
+                    self._enqueue(_Delivery(batch, ext_rows, "pe_fn", trigger.name, trigger.fn))
             for _workflow, procedure in self._subscriptions.get(stream.name, ()):
                 db.clock.charge_cost("pe_trigger")
                 self._enqueue(_Delivery(batch, ext_rows, "proc", procedure))
@@ -539,7 +588,9 @@ class StreamingRuntime:
         rows per subscribed stream instead of growing without bound.
         """
         db = self._db
-        if self._draining or db._txn is not None:
+        if self._draining or db._txn is not None or self.replay_mode == "strong":
+            # Under strong replay the scheduler is inert: deliveries (and
+            # GC) re-execute from their own log records, in log order.
             return 0
         self._draining = True
         processed = 0
@@ -571,7 +622,7 @@ class StreamingRuntime:
         committed, so reclamation is post-commit maintenance (not
         undo-logged), like checkpointing.  Returns rows reclaimed.
         """
-        total = 0
+        advanced: dict[str, int] = {}
         for stream in self.streams.values():
             subs = self._subscriptions.get(stream.name)
             if not subs:
@@ -580,21 +631,16 @@ class StreamingRuntime:
                 self.delivered.get((stream.name, procedure), 0)
                 for _workflow, procedure in subs
             )
-            if horizon <= stream.gc_horizon:
-                continue
-            table = stream.table
-            batch_pos = table.schema.position(BATCH_COLUMN)
-            doomed = [
-                rowid
-                for rowid, row in table.scan()
-                if row[batch_pos] < horizon
-            ]
-            stream.gc_horizon = horizon
-            if doomed:
-                table.delete_many(doomed)
-                stream.reclaimed_rows += len(doomed)
-                total += len(doomed)
-        self.rows_reclaimed += total
+            if horizon > stream.gc_horizon:
+                advanced[stream.name] = horizon
+        total = self.apply_gc(advanced)
+        # GC timing is not derivable from the command log alone (it runs
+        # when the queue happens to empty), so the horizon advance itself
+        # is logged; strong replay re-applies it at the same log position,
+        # keeping recovered snapshots byte-identical to pre-crash state.
+        capture = self._db._log_capture
+        if capture is not None and advanced:
+            capture.record_gc(advanced)
         return total
 
     def _deliver(self, delivery: _Delivery) -> None:
@@ -620,6 +666,12 @@ class StreamingRuntime:
                 procedure,
                 (delivery.batch,),
                 before=lambda ctx: self._advance_owned_windows(ctx.txn, delivery),
+                log_record={
+                    "op": "delivery",
+                    "stream": delivery.batch.stream,
+                    "batch_id": delivery.batch.batch_id,
+                    "proc": delivery.target,
+                },
             )
         finally:
             self._delivering = previous
@@ -633,6 +685,142 @@ class StreamingRuntime:
         for window in self._windows_by_source.get(delivery.batch.stream, ()):
             if window.owner == delivery.target:
                 window.absorb(ops, delivery.ext_rows)
+
+    # -- recovery support --------------------------------------------------------
+    #
+    # The recovery manager drives these.  The split of responsibilities:
+    # the *manager* owns files, record framing, and replay-mode sequencing;
+    # the *runtime* owns the dataflow state being persisted/replayed —
+    # watermarks, scheduler positions, and the delivery machinery itself.
+
+    def persistent_state(self) -> dict[str, Any]:
+        """The dataflow state a checkpoint must carry beyond table contents.
+
+        Stream *rows* live in the catalog snapshot; this captures the
+        runtime bookkeeping that is not recomputable from rows alone:
+        per-stream watermarks (``last_committed``), arrival-sequence
+        counters (``next_seq``), GC horizons, and the per-subscription
+        ``delivered`` progress map the scheduler resumes from.  Queued
+        out-of-order batches (``Stream.pending``) are deliberately
+        excluded — they were never committed, so they are not durable;
+        clients must resubmit them after a crash.
+        """
+        return {
+            "streams": {
+                s.name: {
+                    "last_committed": s.last_committed,
+                    "next_seq": s.next_seq,
+                    "gc_horizon": s.gc_horizon,
+                    "reclaimed_rows": s.reclaimed_rows,
+                }
+                for s in self.streams.values()
+            },
+            "delivered": [
+                [stream, proc, batch_id]
+                for (stream, proc), batch_id in sorted(self.delivered.items())
+            ],
+            "deliveries_done": self.deliveries_done,
+            "rows_reclaimed": self.rows_reclaimed,
+        }
+
+    def restore_persistent_state(self, state: dict[str, Any]) -> None:
+        """Inverse of :meth:`persistent_state`; raises
+        :class:`RecoveryError` when the checkpoint names a stream the
+        bootstrapped schema does not declare (deployment mismatch)."""
+        for name, st in state.get("streams", {}).items():
+            stream = self.streams.get(name)
+            if stream is None:
+                raise RecoveryError(
+                    f"checkpoint references stream {name!r}, which the "
+                    f"bootstrap did not create — schema and procedures must "
+                    f"be re-registered before recovery"
+                )
+            stream.last_committed = int(st["last_committed"])
+            stream.next_seq = int(st["next_seq"])
+            stream.gc_horizon = int(st.get("gc_horizon", 0))
+            stream.reclaimed_rows = int(st.get("reclaimed_rows", 0))
+        self.delivered = {
+            (stream, proc): int(batch_id)
+            for stream, proc, batch_id in state.get("delivered", ())
+        }
+        self.deliveries_done = int(state.get("deliveries_done", 0))
+        self.rows_reclaimed = int(state.get("rows_reclaimed", 0))
+
+    def _batch_ext_rows(self, stream: Stream, batch_id: int) -> tuple:
+        """Stream-extended rows of one committed batch, in arrival order,
+        reconstructed from the stream table (GC keeps every batch at least
+        until all subscribers consumed it, so undelivered batches are
+        always reconstructable)."""
+        pos = stream.table.schema.position(BATCH_COLUMN)
+        return tuple(row for row in stream.table.scan_rows() if row[pos] == batch_id)
+
+    def replay_delivery(self, stream_name: str, batch_id: int, proc_name: str) -> None:
+        """Strong-recovery replay of one logged workflow delivery: rebuild
+        the batch from the stream table and run the procedure exactly as
+        the original delivery did (owned windows advanced inside the
+        delivery transaction, batch id propagated through emits)."""
+        stream = self._stream(stream_name)
+        ext_rows = self._batch_ext_rows(stream, batch_id)
+        batch = Batch(stream_name, batch_id, _strip(ext_rows, stream.declared.arity()))
+        self._deliver(_Delivery(batch, ext_rows, "proc", proc_name))
+        self.deliveries_done += 1
+
+    def apply_gc(self, horizons: dict[str, int]) -> int:
+        """Advance GC horizons and drop the rows below them.
+
+        The single reclamation primitive: live GC (:meth:`_reclaim`)
+        computes its horizons from the ``delivered`` map and delegates
+        here; strong recovery calls it directly with the horizons a
+        logged ``gc`` record carries — one code path, so live and
+        replayed reclamation cannot diverge.  Returns rows reclaimed.
+        """
+        total = 0
+        for name, horizon in horizons.items():
+            stream = self._stream(name)
+            horizon = int(horizon)
+            if horizon <= stream.gc_horizon:
+                continue
+            table = stream.table
+            batch_pos = table.schema.position(BATCH_COLUMN)
+            doomed = [
+                rowid for rowid, row in table.scan() if row[batch_pos] < horizon
+            ]
+            stream.gc_horizon = horizon
+            if doomed:
+                table.delete_many(doomed)
+                stream.reclaimed_rows += len(doomed)
+                total += len(doomed)
+        self.rows_reclaimed += total
+        return total
+
+    def regenerate_deliveries(self) -> int:
+        """Re-enqueue every committed-but-undelivered workflow hop.
+
+        After replay (either mode), any batch with
+        ``delivered < batch_id <= last_committed`` on some subscription
+        was committed upstream but its delivery never reached the durable
+        log — the crash interrupted the pipeline between stages.  Those
+        deliveries are rebuilt from the stream tables and queued; they run
+        on the next ``drain()`` (weak recovery drains immediately; strong
+        recovery leaves them queued so the recovered state first matches
+        the pre-crash committed state exactly).  Exactly-once holds: the
+        lost deliveries never committed, so re-running them is the first
+        time their effects become visible.  Returns how many were queued.
+        """
+        queued = 0
+        for stream_name, subs in self._subscriptions.items():
+            stream = self._stream(stream_name)
+            for _workflow, procedure in subs:
+                key = (stream_name, procedure)
+                last = self.delivered.get(key, 0)
+                for batch_id in range(last + 1, stream.last_committed + 1):
+                    ext_rows = self._batch_ext_rows(stream, batch_id)
+                    batch = Batch(
+                        stream_name, batch_id, _strip(ext_rows, stream.declared.arity())
+                    )
+                    self._enqueue(_Delivery(batch, ext_rows, "proc", procedure))
+                    queued += 1
+        return queued
 
     # -- introspection -----------------------------------------------------------
 

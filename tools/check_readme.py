@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Execute every ```python code block in README.md (the docs CI gate).
+
+Blocks run top to bottom in one shared namespace, from the repository
+root (so the quickstart's ``sys.path.insert(0, "src")`` works), with
+``assert`` statements live.  Any exception fails the check — a README
+example that stops running stops merging.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+BLOCK_RE = re.compile(r"^```python\n(.*?)^```\s*$", re.DOTALL | re.MULTILINE)
+
+
+def main() -> int:
+    readme = ROOT / "README.md"
+    blocks = BLOCK_RE.findall(readme.read_text(encoding="utf-8"))
+    if not blocks:
+        print("check_readme: no ```python blocks found in README.md", file=sys.stderr)
+        return 1
+    namespace: dict = {"__name__": "__readme__"}
+    for i, source in enumerate(blocks, 1):
+        try:
+            code = compile(source, f"README.md#block{i}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception as exc:  # pragma: no cover - failure path
+            print(
+                f"check_readme: README.md python block {i} failed: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"check_readme: {len(blocks)} README python block(s) executed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    import os
+
+    os.chdir(ROOT)
+    raise SystemExit(main())
