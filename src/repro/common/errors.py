@@ -125,6 +125,12 @@ class RecoveryError(TransactionError):
     """Crash-recovery could not restore a consistent state."""
 
 
+class PartitionError(TransactionError):
+    """A partitioned-execution failure: a worker process died, a remote
+    reply could not be decoded, or the ordered-commit protocol observed a
+    partition fail after some participants had already committed."""
+
+
 # ---------------------------------------------------------------------------
 # Streaming model
 # ---------------------------------------------------------------------------

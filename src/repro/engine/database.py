@@ -743,6 +743,87 @@ class Database:
             self._current_proc = prev_proc
         return result
 
+    def call_in_txn(self, name: str, *args: Any) -> Any:
+        """Run a stored procedure's **body** inside the open explicit
+        transaction, without committing it.
+
+        This is the cross-partition prepare seam (paper §4.7): a
+        :class:`~repro.partition.PartitionedDatabase` coordinator begins an
+        explicit transaction on each participant partition, runs procedure
+        fragments through this method, and only then commits every
+        participant in its globally assigned order — so all fragments
+        commit or none do.  Unlike :meth:`call`, the transaction stays
+        open on return: the caller owns commit/abort.
+
+        The body runs with the usual :class:`ProcedureContext` (pinned
+        plans, ``ctx.emit`` staging into the open transaction, owned-window
+        visibility).  On failure the body's writes are rolled back to a
+        savepoint taken at entry — the enclosing transaction stays
+        consistent and usable, exactly like a failed statement.  With
+        recovery enabled the invocation is captured as one ``callx``
+        command in the transaction's log record, so replay re-invokes the
+        body deterministically at the same point of the transaction.
+
+        Args:
+            name: registered procedure name (case-insensitive).
+            args: positional arguments passed to the body after ``ctx``.
+
+        Returns:
+            The body's return value.
+
+        Raises:
+            NoSuchProcedureError: ``name`` is not registered.
+            TransactionError: no explicit transaction is open (use
+                :meth:`call` for the ordinary one-invocation-one-
+                transaction path).
+            TransactionAborted: the body called ``ctx.abort()``; its
+                writes are rolled back, the transaction stays open.
+            ProcedureError: the body raised; writes rolled back likewise.
+            RecoveryError: recovery is enabled and ``args`` are not
+                JSON-serialisable (raised before the body runs).
+        """
+        proc = self._procedures.get(name.lower())
+        if proc is None:
+            known = ", ".join(sorted(self._procedures)) or "none"
+            raise NoSuchProcedureError(f"no stored procedure {name!r} (have: {known})")
+        txn = self._txn
+        if txn is None or txn.implicit:
+            raise TransactionError(
+                f"call_in_txn({name!r}) requires an open explicit transaction "
+                f"(the caller owns commit/abort); use db.call() for the "
+                f"auto-commit form"
+            )
+        capture = self._log_capture
+        cmd_mark = len(txn.log_cmds)
+        if capture is not None:
+            # validate serialisability before any effect, like db.call;
+            # a rolled-back fragment deletes its own entry below
+            capture.record_call_in_txn(txn, proc.name, args)
+        self.txn_stats["procedure_calls"] += 1
+        ctx = ProcedureContext(self, proc, txn)
+        prev_proc = self._current_proc
+        self._current_proc = proc.name
+        mark = txn.undo.mark()
+        try:
+            return proc.fn(ctx, *args)
+        except TransactionAborted:
+            self._charge_undone(txn.undo.rollback_to(mark))
+            del txn.log_cmds[cmd_mark:]
+            raise
+        except Exception as exc:
+            self._charge_undone(txn.undo.rollback_to(mark))
+            del txn.log_cmds[cmd_mark:]
+            raise ProcedureError(
+                f"procedure {proc.name!r} failed and was rolled back to its "
+                f"savepoint: {type(exc).__name__}: {exc}"
+            ) from exc
+        except BaseException:
+            self._charge_undone(txn.undo.rollback_to(mark))
+            del txn.log_cmds[cmd_mark:]
+            raise
+        finally:
+            self._current_proc = prev_proc
+
     # -- statement preparation -----------------------------------------------
 
     def prepare(self, sql: str) -> PreparedStatement:

@@ -1,0 +1,610 @@
+""":class:`PartitionedDatabase`: N serial engines behind one facade.
+
+The paper's §4.7 scale-out model: the input stream is partitioned across
+cores, each core running transaction executions "in a serial, single-sited
+fashion" for its slice.  This module is the coordinator half — it owns N
+worker processes (one single-partition :class:`~repro.engine.Database`
+each, see :mod:`repro.partition.worker`), routes work to them with a
+strict-mode :class:`~repro.storage.partitioning.PartitionMap`, and runs
+the ordered-commit protocol for the transactions that cannot be confined
+to one partition.
+
+Routing rules
+=============
+* ``ingest(stream, rows)`` — the batch splits by the stream's registered
+  partition column; each partition applies its sub-batch as one local
+  transaction on its **own** batch-id sequence.  Sub-batches are posted
+  pipelined (bounded by ``max_inflight`` per worker), so ingest throughput
+  scales with workers instead of serialising on round trips.
+* ``call(name, *args, key=...)`` / ``execute(sql, params, key=...)`` —
+  an explicit ``key`` routes the whole request to ``partition_of(key)``
+  as an ordinary single-partition transaction (the fast path; the paper's
+  single-sited case).
+* ``execute`` without a key classifies the statement: ``SELECT`` fans out
+  to every partition and returns the **union** of per-partition results
+  (no cross-partition ordering or aggregate merge — aggregates come back
+  one row per partition); ``UPDATE``/``DELETE`` run as a cross-partition
+  transaction; ``INSERT`` without a key is refused (broadcasting it would
+  duplicate the row on every partition); DDL broadcasts to every
+  partition auto-commit (schema is deployment, not data).
+* ``call`` without a key runs the procedure body as a fragment on *every*
+  partition inside one cross-partition transaction (via
+  :meth:`~repro.engine.database.Database.call_in_txn`) and returns the
+  per-partition results.
+
+Ordered commit
+==============
+A cross-partition transaction gets a global id and runs in two phases,
+both in ascending partition order: **prepare** (open an explicit
+transaction on each participant and execute its fragment; any failure →
+abort-all, nothing committed anywhere) and **commit** (commit each
+participant in the same global order).  Because every worker executes
+serially and the coordinator runs one cross-partition transaction at a
+time, the global commit order is the serialisation order.  A participant
+that fails *during the commit phase* — only possible via fault injection
+or a worker crash, since prepare already validated the fragments — leaves
+the earlier participants committed; the coordinator then raises
+:class:`~repro.common.errors.PartitionError` naming exactly which
+partitions committed, so the damage is diagnosable.
+
+Durability
+==========
+With ``recovery_dir=``, partition *i* logs to ``<recovery_dir>/p00i``.
+Reopening a :class:`PartitionedDatabase` on the same directory recovers
+every partition independently (same deploy-then-replay contract as the
+single engine).  Note the per-partition atomicity grain of ingest: each
+partition's sub-batch is its own logged transaction, so a crash can
+persist one partition's half of an input batch and not another's — this
+is the paper's model (atomic batches are per-stream-partition), and
+``flush_log()`` is the all-partitions durability boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+from collections import Counter, defaultdict, deque
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Sequence
+
+from ..common.errors import (
+    BatchOrderError,
+    NoSuchTableError,
+    PartitionError,
+    SchemaError,
+)
+from ..sql.executor import ResultSet
+from ..storage.partitioning import PartitionMap
+from .rpc import Channel, decode_value, raise_reply_error
+from .worker import InlineWorker, PartitionInfo, worker_main
+
+
+class _ProcessHandle:
+    """Coordinator-side end of one worker process."""
+
+    kind = "process"
+
+    def __init__(self, deploy, part: PartitionInfo, options: dict[str, Any]):
+        ctx = multiprocessing.get_context("fork")
+        parent, child = socket.socketpair()
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child, deploy, part, options),
+            daemon=True,
+            name=f"repro-{part.name}",
+        )
+        self.process.start()
+        child.close()
+        self.channel = Channel(parent)
+
+    def ready(self, partition_id: int) -> None:
+        reply = self.channel.recv()
+        if not reply.get("ok"):
+            self.process.join(timeout=5)
+            raise_reply_error(reply, partition_id)
+
+    def send(self, request: dict[str, Any]) -> None:
+        self.channel.send(request)
+
+    def recv(self) -> dict[str, Any]:
+        return self.channel.recv()
+
+    def join(self) -> None:
+        self.channel.close()
+        self.process.join(timeout=10)
+
+    def kill(self) -> None:
+        self.process.terminate()
+        self.process.join(timeout=10)
+        self.channel.close()
+
+
+class _InlineHandle:
+    """Same interface over an in-process worker (tests, 1-core boxes)."""
+
+    kind = "inline"
+
+    def __init__(self, deploy, part: PartitionInfo, options: dict[str, Any]):
+        self.worker = InlineWorker(deploy, part, options)
+
+    def ready(self, partition_id: int) -> None:
+        pass
+
+    def send(self, request: dict[str, Any]) -> None:
+        self.worker.send(request)
+
+    def recv(self) -> dict[str, Any]:
+        return self.worker.recv()
+
+    def join(self) -> None:
+        pass
+
+    def kill(self) -> None:
+        self.worker.kill()
+
+
+def _leading_keyword(sql: str) -> str:
+    stripped = sql.lstrip()
+    return stripped.split(None, 1)[0].lower() if stripped else ""
+
+
+def _value_sort_key(v: Any) -> tuple:
+    if v is None:
+        return (0, 0)
+    if isinstance(v, (int, float)):  # bools are ints; numerics compare numerically
+        return (1, v)
+    return (2, str(v))
+
+
+def _row_sort_key(row: Sequence[Any]) -> tuple:
+    """Total order over heterogeneous SQL rows (None/bool/int/float/str)."""
+    return tuple(_value_sort_key(v) for v in row)
+
+
+class PartitionedDatabase:
+    """One logical database over ``num_partitions`` serial engines.
+
+    Args:
+        num_partitions: worker count (one engine, one process each).
+        deploy: ``fn(db, part)`` run on every worker at startup (and again
+            before recovery) — all DDL, procedure/trigger registrations,
+            and reference-data seeding belong here.  ``part`` is the
+            worker's :class:`~repro.partition.worker.PartitionInfo`; use
+            ``part.owns(key)`` to seed only locally-routed rows.
+        partition_keys: ``{table_or_stream: column}`` routing columns,
+            registered into a **strict** map — ingest into an unkeyed
+            stream on a multi-partition database raises
+            :class:`~repro.common.errors.SchemaError` instead of
+            hot-spotting partition 0.
+        mode: ``"hash"`` (type-tagged stable hash) or ``"round_robin"``
+            (``key % n`` for ints — the paper's x-way distribution).
+        workers: ``"process"`` (real parallelism, the default) or
+            ``"inline"`` (same wire discipline, no processes — for tests
+            and single-core environments).
+        recovery_dir: per-partition durability root; partition *i* uses
+            ``<recovery_dir>/p00i``.
+        recovery: ``"strong"`` or ``"weak"`` (forwarded to every worker).
+        group_commit: per-worker command-log group-commit size.
+        max_inflight: pipelining bound — unanswered requests allowed per
+            worker before ingest blocks collecting replies.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int = 2,
+        deploy=None,
+        *,
+        partition_keys: Optional[Mapping[str, str]] = None,
+        mode: str = "hash",
+        workers: str = "process",
+        recovery_dir: Optional[str | Path] = None,
+        recovery: str = "strong",
+        group_commit: int = 8,
+        max_inflight: int = 32,
+    ):
+        if workers not in ("process", "inline"):
+            raise ValueError(f"workers must be 'process' or 'inline', not {workers!r}")
+        # strict map: unkeyed tables fail loudly instead of hot-spotting
+        self.partition_map = PartitionMap(num_partitions, mode=mode, default_partition=None)
+        for table, column in (partition_keys or {}).items():
+            self.partition_map.set_partition_key(table, column)
+        self.num_partitions = num_partitions
+        self.workers = workers
+        self._max_inflight = max_inflight
+        #: routing / protocol tallies, reported by :meth:`stats`
+        self.routing: Counter[str] = Counter()
+        self._next_xid = 1
+        self._closed = False
+        handle_cls = _InlineHandle if workers == "inline" else _ProcessHandle
+        root = Path(recovery_dir) if recovery_dir is not None else None
+        self._handles: list[Any] = []
+        self._pending: list[deque] = []
+        try:
+            for pid in range(num_partitions):
+                part = PartitionInfo(pid, num_partitions, mode)
+                options = {
+                    "recovery_dir": str(root / part.name) if root is not None else None,
+                    "recovery": recovery,
+                    "group_commit": group_commit,
+                }
+                self._handles.append(handle_cls(deploy, part, options))
+                self._pending.append(deque())
+            for pid, handle in enumerate(self._handles):
+                handle.ready(pid)
+        except BaseException:
+            for handle in self._handles:
+                handle.kill()
+            raise
+        self._schema = self._fetch_schema()
+
+    # -- request plumbing (FIFO tags per worker; supports pipelining) --------
+
+    def _fetch_schema(self) -> dict[str, dict[str, Any]]:
+        raw = self._request(0, {"op": "schema"})
+        return {name.lower(): meta for name, meta in raw.items()}
+
+    def _post(self, pid: int, request: dict[str, Any], *, collect: bool = False) -> dict:
+        tag = {"collect": collect, "value": None, "done": False}
+        self._handles[pid].send(request)
+        self._pending[pid].append(tag)
+        return tag
+
+    def _pump(self, pid: int) -> None:
+        """Receive one reply for worker ``pid``, resolving its oldest tag.
+        An error reply raises here — asynchronous (pipelined) failures
+        surface at the next synchronisation point."""
+        reply = self._handles[pid].recv()
+        tag = self._pending[pid].popleft()
+        tag["done"] = True
+        if not reply.get("ok"):
+            raise_reply_error(reply, pid)
+        if tag["collect"]:
+            tag["value"] = decode_value(reply.get("value"))
+
+    def _request(self, pid: int, request: dict[str, Any]) -> Any:
+        tag = self._post(pid, request, collect=True)
+        while not tag["done"]:
+            self._pump(pid)
+        return tag["value"]
+
+    def barrier(self) -> None:
+        """Collect every outstanding pipelined reply (first error raises)."""
+        for pid in range(self.num_partitions):
+            while self._pending[pid]:
+                self._pump(pid)
+
+    # -- ingest (pipelined, split by partition column) -----------------------
+
+    def _split_batch(self, stream: str, rows: Sequence[Any]) -> list[tuple[int, list]]:
+        if self.num_partitions == 1:
+            return [(0, [row if isinstance(row, Mapping) else list(row) for row in rows])]
+        key_col = self.partition_map.require_partition_key(stream)
+        meta = self._schema.get(stream.lower())
+        if meta is None:
+            raise NoSuchTableError(f"no stream or table named {stream!r}")
+        columns = [c.lower() for c in meta["columns"]]
+        try:
+            pos = columns.index(key_col)
+        except ValueError:
+            raise SchemaError(
+                f"partition key {key_col!r} is not a declared column of "
+                f"{stream!r} (columns: {', '.join(columns)})"
+            ) from None
+        buckets: dict[int, list] = defaultdict(list)
+        part_of = self.partition_map.partition_of
+        for row in rows:
+            if isinstance(row, Mapping):
+                value = _mapping_value(row, key_col)
+                buckets[part_of(value)].append(dict(row))
+            else:
+                buckets[part_of(row[pos])].append(list(row))
+        return sorted(buckets.items())
+
+    def ingest(
+        self,
+        stream: str,
+        rows,
+        batch_id: Optional[int] = None,
+        *,
+        wait: bool = True,
+    ) -> Optional[dict[int, list[int]]]:
+        """Split one atomic batch by the stream's partition column and apply
+        each sub-batch on its partition (each as one local transaction, on
+        that partition's own batch-id sequence).
+
+        With ``wait=False`` the sub-batches are posted without collecting
+        replies — the pipelined fast path; errors surface at the next
+        :meth:`barrier`/:meth:`drain`/sync call.  Returns ``{partition:
+        applied batch ids}`` when waiting, else ``None``.
+        """
+        if batch_id is not None and self.num_partitions > 1:
+            raise BatchOrderError(
+                "explicit batch ids cannot target a multi-partition database: "
+                "each partition runs its own batch-id sequence"
+            )
+        rows = list(rows)
+        buckets = self._split_batch(stream, rows)
+        self.routing["ingest_batches"] += 1
+        self.routing["ingest_rows"] += len(rows)
+        tags = []
+        for pid, sub in buckets:
+            self.routing["ingest_sub_batches"] += 1
+            while len(self._pending[pid]) >= self._max_inflight:
+                self._pump(pid)
+            tags.append(
+                (pid, self._post(pid, {"op": "ingest", "stream": stream, "rows": sub,
+                                       "batch_id": batch_id}, collect=wait))
+            )
+        if not wait:
+            return None
+        for pid, tag in tags:
+            while not tag["done"]:
+                self._pump(pid)
+        return {pid: tag["value"] for pid, tag in tags}
+
+    # -- routed statements and procedure calls -------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> ResultSet:
+        """Run one statement (see module docstring for the routing rules)."""
+        params = list(params)
+        if key is not None:
+            self.routing["single_partition_statements"] += 1
+            pid = self.partition_map.partition_of(key)
+            return self._request(pid, {"op": "execute", "sql": sql, "params": params})
+        verb = _leading_keyword(sql)
+        if verb == "select":
+            return self._fanout_select(sql, params)
+        if verb == "insert":
+            raise PartitionError(
+                "cannot broadcast an INSERT (it would duplicate the row on "
+                "every partition); pass key=<partition-key value> to route it"
+            )
+        if verb in ("update", "delete"):
+            results = self._cross_partition(
+                lambda pid: {"op": "xp_exec", "sql": sql, "params": params}
+            )
+            return ResultSet((), [], sum(r.rowcount for r in results))
+        # DDL (and anything else): schema is deployment — broadcast,
+        # one auto-commit transaction per partition, then re-learn schema
+        self.routing["broadcast_statements"] += 1
+        result: Any = None
+        for pid in range(self.num_partitions):
+            result = self._request(pid, {"op": "execute", "sql": sql, "params": params})
+        self._schema = self._fetch_schema()
+        return result
+
+    def _fanout_select(self, sql: str, params: list) -> ResultSet:
+        self.routing["fanout_selects"] += 1
+        tags = [
+            (pid, self._post(pid, {"op": "execute", "sql": sql, "params": params},
+                             collect=True))
+            for pid in range(self.num_partitions)
+        ]
+        columns: tuple = ()
+        rows: list = []
+        rowcount = 0
+        for pid, tag in tags:
+            while not tag["done"]:
+                self._pump(pid)
+            rs = tag["value"]
+            columns = rs.columns
+            rows.extend(rs.rows)
+            rowcount += rs.rowcount
+        return ResultSet(columns, rows, rowcount)
+
+    def call(self, name: str, *args: Any, key: Any = None) -> Any:
+        """Invoke a stored procedure.
+
+        With ``key=`` the whole invocation is a single-partition
+        transaction on ``partition_of(key)`` and returns the procedure's
+        result.  Without a key the body runs as a fragment on **every**
+        partition inside one ordered-commit cross-partition transaction;
+        returns the list of per-partition results.
+        """
+        if key is not None:
+            self.routing["single_partition_calls"] += 1
+            pid = self.partition_map.partition_of(key)
+            return self._request(pid, {"op": "call", "name": name, "args": list(args)})
+        return self._cross_partition(
+            lambda pid: {"op": "xp_call", "name": name, "args": list(args)}
+        )
+
+    def executemany(self, sql: str, param_rows, *, key_position: int) -> int:
+        """Bulk DML routed row-by-row: each parameter row goes to the
+        partition of its ``key_position``-th value, applied as one
+        ``executemany`` transaction per touched partition."""
+        buckets: dict[int, list] = defaultdict(list)
+        for row in param_rows:
+            row = list(row)
+            buckets[self.partition_map.partition_of(row[key_position])].append(row)
+        self.routing["single_partition_statements"] += len(buckets)
+        total = 0
+        for pid, rows in sorted(buckets.items()):
+            total += self._request(pid, {"op": "executemany", "sql": sql, "rows": rows})
+        return total
+
+    # -- ordered-commit cross-partition protocol -----------------------------
+
+    def _cross_partition(self, fragment_for) -> list:
+        """Run one fragment per partition under ordered commit: prepare
+        serially in partition order, commit in the same order, abort-all
+        on any prepare failure."""
+        self.barrier()
+        xid = self._next_xid
+        self._next_xid += 1
+        self.routing["cross_partition_txns"] += 1
+        prepared: list[int] = []
+        results: list = []
+        try:
+            for pid in range(self.num_partitions):
+                self._request(pid, {"op": "xp_begin", "xid": xid})
+                prepared.append(pid)
+                results.append(self._request(pid, fragment_for(pid)))
+        except BaseException:
+            self._abort_best_effort(prepared)
+            self.routing["cross_partition_aborts"] += 1
+            raise
+        committed: list[int] = []
+        for pid in prepared:
+            try:
+                self._request(pid, {"op": "xp_commit", "xid": xid})
+                committed.append(pid)
+            except BaseException as exc:
+                # the failed participant's transaction is still open (the
+                # failure pre-empted its commit); roll back it and every
+                # not-yet-committed participant
+                self._abort_best_effort([p for p in prepared if p not in committed])
+                self.routing["cross_partition_aborts"] += 1
+                if committed:
+                    raise PartitionError(
+                        f"cross-partition transaction {xid} torn mid-commit: "
+                        f"partition(s) {committed} committed before partition "
+                        f"{pid} failed — partitions have diverged ({exc})"
+                    ) from exc
+                raise
+        self.routing["cross_partition_commits"] += 1
+        return results
+
+    def _abort_best_effort(self, pids: Sequence[int]) -> None:
+        for pid in pids:
+            try:
+                self._request(pid, {"op": "xp_abort"})
+            except Exception:
+                pass  # the worker may be gone; abort is best-effort cleanup
+
+    # -- broadcast maintenance ------------------------------------------------
+
+    def drain(self) -> int:
+        """Run pending workflow deliveries to completion on every
+        partition; returns the total deliveries processed."""
+        self.barrier()
+        return sum(
+            self._request(pid, {"op": "drain"}) for pid in range(self.num_partitions)
+        )
+
+    def flush_log(self) -> None:
+        """Close the durability window on every partition (one group-commit
+        fsync each).  This is the all-partitions durability boundary."""
+        self.barrier()
+        for pid in range(self.num_partitions):
+            self._request(pid, {"op": "flush"})
+
+    def checkpoint(self) -> list[str]:
+        self.barrier()
+        return [
+            self._request(pid, {"op": "checkpoint"})
+            for pid in range(self.num_partitions)
+        ]
+
+    def inject_fault(self, pid: int, op: str, message: Optional[str] = None) -> None:
+        """Arm a one-shot failure of ``op`` on partition ``pid`` (tests)."""
+        self._request(pid, {"op": "inject_fault", "fault_op": op, "message": message})
+
+    # -- inspection -----------------------------------------------------------
+
+    def snapshot(self) -> dict[int, dict[str, Any]]:
+        """Per-partition ``Catalog.snapshot()`` (JSON-decoded form)."""
+        self.barrier()
+        return {
+            pid: self._request(pid, {"op": "snapshot"})
+            for pid in range(self.num_partitions)
+        }
+
+    def merged_table_rows(self, table: str) -> list[tuple]:
+        """All partitions' rows of ``table`` as a sorted list of value
+        tuples (rowids dropped — they are per-partition).  The partitioned
+        counterpart of a single engine's table contents, for equivalence
+        checks against an unpartitioned run."""
+        merged: list[tuple] = []
+        for snap in self.snapshot().values():
+            state = snap.get(table)
+            if state is None:
+                raise NoSuchTableError(f"no table named {table!r}")
+            merged.extend(tuple(values) for _rowid, values in state["rows"])
+        return sorted(merged, key=_row_sort_key)
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregated counters: routing/protocol tallies, per-partition
+        engine stats, and cross-partition sums (transactions, table row
+        counts)."""
+        self.barrier()
+        per = [
+            self._request(pid, {"op": "stats"}) for pid in range(self.num_partitions)
+        ]
+        txns: Counter[str] = Counter()
+        table_rows: Counter[str] = Counter()
+        for s in per:
+            for key, value in s["transactions"].items():
+                if not isinstance(value, bool):
+                    txns[key] += value
+            for t, meta in s["tables"].items():
+                table_rows[t] += meta["rows"]
+        return {
+            "num_partitions": self.num_partitions,
+            "mode": self.partition_map.mode,
+            "workers": self.workers,
+            "routing": dict(self.routing),
+            "transactions": dict(txns),
+            "table_rows": dict(table_rows),
+            "partitions": per,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close every partition's log, stop the workers, and
+        reap the processes.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.barrier()
+            for pid in range(self.num_partitions):
+                self._request(pid, {"op": "close"})
+                self._request(pid, {"op": "shutdown"})
+        finally:
+            for handle in self._handles:
+                handle.join()
+
+    def kill(self) -> None:
+        """Simulate a crash: terminate every worker with no close/flush.
+        Commits past the last :meth:`flush_log` may be lost — exactly the
+        window the per-partition command logs bound."""
+        self._closed = True
+        for handle in self._handles:
+            handle.kill()
+        for pending in self._pending:
+            pending.clear()
+
+    def __enter__(self) -> "PartitionedDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.kill()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionedDatabase(num_partitions={self.num_partitions}, "
+            f"mode={self.partition_map.mode!r}, workers={self.workers!r})"
+        )
+
+
+def _mapping_value(row: Mapping[str, Any], key_col: str) -> Any:
+    if key_col in row:
+        return row[key_col]
+    for name, value in row.items():
+        if name.lower() == key_col:
+            return value
+    raise SchemaError(
+        f"row {dict(row)!r} has no value for partition key column {key_col!r}"
+    )
+
+
+def iter_partitions(n: int, mode: str = "hash") -> Iterator[PartitionInfo]:
+    """The ``PartitionInfo`` of every partition of an ``n``-way database —
+    convenience for precomputing placement coordinator-side."""
+    for pid in range(n):
+        yield PartitionInfo(pid, n, mode)

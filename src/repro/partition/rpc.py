@@ -1,0 +1,139 @@
+"""Framed RPC between the coordinator and its partition workers.
+
+The wire protocol is deliberately tiny: every message — request or reply —
+is one :func:`repro.common.serde.encode_record` line (versioned JSON with a
+CRC32), prefixed by a 4-byte big-endian length.  Reusing the command-log
+framing means the pipe carries exactly the value domain the engine already
+guarantees is serialisable (JSON-safe SQL values), the checksum catches a
+torn or corrupted frame, and there is no pickle on the wire — a worker
+cannot be made to execute arbitrary code by a malformed frame.
+
+Messages are dicts.  A request carries ``{"op": ..., ...operands}``; a
+reply is either ``{"ok": True, "value": ...}`` or
+``{"ok": False, "error": "<class name>", "message": "..."}``.  Error
+replies are re-raised coordinator-side as the *same* exception class the
+worker raised (resolved by name against :mod:`repro.common.errors`, falling
+back to :class:`~repro.common.errors.PartitionError` for anything foreign),
+with the message prefixed ``[partition N]`` so a failure names its origin.
+
+Replies are strictly FIFO per worker: a worker processes requests one at a
+time, in arrival order, and the coordinator matches replies to requests by
+position.  That ordering is what makes pipelining safe — the coordinator
+may post many ingest requests before collecting any replies.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Any
+
+from ..common import errors as _errors
+from ..common.errors import PartitionError
+from ..common.serde import decode_record, encode_record
+from ..sql.executor import ResultSet
+
+_HEADER = struct.Struct(">I")
+
+#: name → class for every public error; foreign names fall back to
+#: :class:`PartitionError` when a reply is re-raised coordinator-side.
+ERROR_CLASSES: dict[str, type] = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, _errors.ReproError)
+}
+
+
+class Channel:
+    """One framed, ordered, bidirectional message pipe over a socket.
+
+    ``send`` encodes fully before writing, so an unserialisable record
+    raises without emitting a partial frame; ``recv`` reads exact frame
+    boundaries and verifies the serde checksum.  A peer that hangs up
+    raises :class:`PartitionError` (never a bare ``OSError``)."""
+
+    __slots__ = ("_sock",)
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+
+    def send(self, record: dict[str, Any]) -> None:
+        line = encode_record(record).encode("utf-8")
+        try:
+            self._sock.sendall(_HEADER.pack(len(line)) + line)
+        except OSError as exc:
+            raise PartitionError(f"worker pipe broken during send: {exc}") from exc
+
+    def recv(self) -> dict[str, Any]:
+        (length,) = _HEADER.unpack(self._recv_exact(_HEADER.size))
+        return decode_record(self._recv_exact(length).decode("utf-8"))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except OSError as exc:
+                raise PartitionError(f"worker pipe broken during recv: {exc}") from exc
+            if not chunk:
+                raise PartitionError(
+                    "worker hung up (connection closed"
+                    + (" mid-frame)" if len(chunks) or remaining != n else ")")
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Reply construction / consumption
+# ---------------------------------------------------------------------------
+
+def value_reply(value: Any) -> dict[str, Any]:
+    return {"ok": True, "value": encode_value(value)}
+
+
+def error_reply(exc: BaseException) -> dict[str, Any]:
+    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+
+
+def raise_reply_error(reply: dict[str, Any], partition_id: int) -> None:
+    """Re-raise a worker's error reply as its original exception class."""
+    cls = ERROR_CLASSES.get(reply.get("error", ""), PartitionError)
+    raise cls(f"[partition {partition_id}] {reply.get('message', 'unknown worker error')}")
+
+
+# ---------------------------------------------------------------------------
+# Value codec: everything on the wire is JSON; the one engine type that
+# crosses it — ResultSet — gets an explicit marker envelope.
+# ---------------------------------------------------------------------------
+
+_RS_MARKER = "__result_set__"
+
+
+def encode_value(value: Any) -> Any:
+    if isinstance(value, ResultSet):
+        return {
+            _RS_MARKER: 1,
+            "columns": list(value.columns),
+            "rows": [list(row) for row in value.rows],
+            "rowcount": value.rowcount,
+        }
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and value.get(_RS_MARKER) == 1:
+        return ResultSet(
+            value["columns"],
+            [tuple(row) for row in value["rows"]],
+            value["rowcount"],
+        )
+    return value
