@@ -1,0 +1,419 @@
+#!/usr/bin/env python
+"""Closed-loop benchmark of the network front door (wall clock).
+
+Eight (or more) concurrent clients drive atomic-batch ingest over TCP
+against a served :class:`~repro.partition.PartitionedDatabase` with real
+worker processes, in two phases against the same engine:
+
+* ``baseline`` — generous admission budgets: every request is admitted;
+  measures the served closed-loop service rate and per-request latency
+  percentiles (p50/p95/p99 of the successful attempt, measured at the
+  client).
+* ``overload`` — the same clients against deliberately tiny in-flight
+  budgets: the server must *reject* the excess with the typed retryable
+  error (:class:`~repro.common.errors.BackpressureError`) instead of
+  queueing it, and the clients retry until every batch lands.
+
+Enforced thresholds (``--no-check`` to skip):
+
+* the merged partitioned balance table is byte-identical to a single
+  serial engine fed the same payloads — every admitted batch applied
+  exactly once, every rejected batch applied exactly once *after* retry;
+* zero rejections in baseline (the budgets cannot fill), >= 1 rejection
+  under overload, and the server's own rejection counter equals the sum
+  of rejections the clients observed (accounting consistency);
+* admitted throughput under overload stays within
+  ``OVERLOAD_RPS_FLOOR`` (80%) of the baseline rate — admission control
+  sheds load without starving admitted work;
+* resident stream rows stay bounded by stream GC (<= one closed-loop
+  round of batches, independent of how many batches were ingested), with
+  a positive reclaimed count — no unbounded queue growth anywhere.
+
+``--smoke`` shrinks the run for CI; the same thresholds are enforced.
+Writes ``BENCH_pr7.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.common.clock import CostModel  # noqa: E402
+from repro.common.errors import BackpressureError  # noqa: E402
+from repro.common.types import ColumnType  # noqa: E402
+from repro.engine import Database  # noqa: E402
+from repro.partition import PartitionedDatabase, PartitionInfo  # noqa: E402
+from repro.server import ReproClient, ReproServer  # noqa: E402
+from repro.storage.schema import schema  # noqa: E402
+
+CLIENTS = 8                 # >= 8 concurrent closed-loop clients (acceptance)
+PARTITIONS = 2              # worker processes behind the served engine
+ACCOUNTS = 256
+
+BASELINE_BATCHES = 40       # batches per client, baseline phase
+OVERLOAD_BATCHES = 25       # batches per client, overload phase
+ROWS_PER_BATCH = 50
+
+SMOKE_BASELINE_BATCHES = 10
+SMOKE_OVERLOAD_BATCHES = 8
+SMOKE_ROWS_PER_BATCH = 10
+
+#: Baseline budgets: 8 clients with one outstanding request each cannot
+#: fill either budget, so baseline rejections must be exactly zero.
+BASELINE_INFLIGHT_PER_CONN = 8
+BASELINE_INFLIGHT_TOTAL = 64
+#: Overload budgets: far fewer total slots than clients, so concurrent
+#: arrivals are rejected at frame-read time and retried by the client.
+#: The total stays high enough that admitted work keeps the serial
+#: engine saturated while the excess clients bounce off admission.
+OVERLOAD_INFLIGHT_PER_CONN = 2
+OVERLOAD_INFLIGHT_TOTAL = 5
+RETRY_BACKOFF_S = 0.005     # closed-loop retry sleep after a rejection
+
+#: Admitted throughput under overload must stay within 20% of baseline:
+#: admission control sheds the excess, it does not starve admitted work.
+OVERLOAD_RPS_FLOOR = 0.8
+
+
+def lcg(seed: int = 0x5EED):
+    """Deterministic 31-bit linear congruential generator."""
+    state = seed
+    while True:
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        yield state
+
+
+def server_deploy(db: Database, part: PartitionInfo) -> None:
+    """The served workload: a keyed input stream feeding a keyed balance
+    table through a one-stage workflow.  ``absorb`` is additive, so the
+    final table is independent of the order concurrent clients' batches
+    interleave in — the property that lets a serial reference engine
+    check the raced run."""
+    db.create_stream(
+        schema("sfeed", ("acct", ColumnType.BIGINT), ("amt", ColumnType.INTEGER))
+    )
+    db.create_table(
+        schema(
+            "sbal",
+            ("acct", ColumnType.BIGINT, False),
+            ("total", ColumnType.BIGINT, False),
+            primary_key=["acct"],
+        )
+    )
+    db.executemany(
+        "INSERT INTO sbal (acct, total) VALUES (?, ?)",
+        ((a, 0) for a in range(ACCOUNTS) if part.owns(a)),
+    )
+
+    @db.register_procedure
+    def absorb(ctx, batch):
+        counts: dict = {}
+        for acct, amt in batch.rows:
+            counts[acct] = counts.get(acct, 0) + amt
+        for acct, total in counts.items():
+            ctx.execute(
+                "UPDATE sbal SET total = total + ? WHERE acct = ?", (total, acct)
+            )
+
+    db.create_workflow("sflow", [("sfeed", "absorb")])
+
+
+def make_payloads(clients: int, batches: int, rows_per_batch: int, seed: int):
+    """One deterministic payload list per client."""
+    rng = lcg(seed)
+    return [
+        [
+            [(next(rng) % ACCOUNTS, 1 + next(rng) % 9) for _ in range(rows_per_batch)]
+            for _ in range(batches)
+        ]
+        for _ in range(clients)
+    ]
+
+
+def percentile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, round(q * (len(sorted_vals) - 1)))
+    return sorted_vals[idx]
+
+
+def latency_summary(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "requests": len(ordered),
+        "p50_ms": percentile(ordered, 0.50) * 1e3,
+        "p95_ms": percentile(ordered, 0.95) * 1e3,
+        "p99_ms": percentile(ordered, 0.99) * 1e3,
+        "max_ms": (ordered[-1] if ordered else 0.0) * 1e3,
+    }
+
+
+def run_closed_loop(address: tuple[str, int], payload_sets) -> dict:
+    """Drive one phase: one thread + one :class:`ReproClient` per payload
+    set, each closed-loop (one outstanding request), retrying every
+    typed-retryable rejection until the batch lands.  A rejected batch
+    was never executed, so the retry applies it exactly once."""
+    n = len(payload_sets)
+    start_gate = threading.Barrier(n + 1)
+    results = [{"latencies": [], "rejections": 0} for _ in range(n)]
+    errors: list[BaseException] = []
+
+    def worker(payloads, out) -> None:
+        try:
+            with ReproClient(*address) as client:
+                start_gate.wait()
+                for rows in payloads:
+                    while True:
+                        t0 = time.perf_counter()
+                        try:
+                            client.ingest("sfeed", rows)
+                            out["latencies"].append(time.perf_counter() - t0)
+                            break
+                        except BackpressureError:
+                            out["rejections"] += 1
+                            time.sleep(RETRY_BACKOFF_S)
+        except BaseException as exc:  # surfaced as a benchmark failure
+            errors.append(exc)
+            raise
+
+    threads = [
+        threading.Thread(target=worker, args=(payloads, out), daemon=True)
+        for payloads, out in zip(payload_sets, results)
+    ]
+    for t in threads:
+        t.start()
+    start_gate.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError(f"client thread failed: {errors[0]!r}") from errors[0]
+
+    latencies = [lat for out in results for lat in out["latencies"]]
+    total_rows = sum(len(rows) for payloads in payload_sets for rows in payloads)
+    return {
+        "clients": n,
+        "batches": sum(len(p) for p in payload_sets),
+        "rows": total_rows,
+        "wall_s": wall_s,
+        "rows_per_sec": total_rows / wall_s if wall_s else 0.0,
+        "rejections": sum(out["rejections"] for out in results),
+        "latency": latency_summary(latencies),
+    }
+
+
+def serve_phase(pdb, payload_sets, *, per_conn: int, total: int) -> dict:
+    """One server lifecycle around one closed-loop phase; the server's
+    own counters are captured over the wire before shutdown."""
+    server = ReproServer(
+        pdb, max_inflight_per_conn=per_conn, max_inflight_total=total
+    ).start()
+    try:
+        phase = run_closed_loop(server.address, payload_sets)
+        with ReproClient(*server.address) as client:
+            client.drain()
+            phase["server"] = client.stats()["server"]
+        return phase
+    finally:
+        server.close()
+
+
+def run_benchmark(
+    *,
+    clients: int = CLIENTS,
+    baseline_batches: int = BASELINE_BATCHES,
+    overload_batches: int = OVERLOAD_BATCHES,
+    rows_per_batch: int = ROWS_PER_BATCH,
+) -> dict:
+    baseline_payloads = make_payloads(clients, baseline_batches, rows_per_batch, 53)
+    overload_payloads = make_payloads(clients, overload_batches, rows_per_batch, 59)
+
+    # Serial reference first (no threads alive yet): the same payloads
+    # through one engine define the expected final balance table.
+    single = Database(
+        cost=CostModel.calibrated(),
+        bootstrap=lambda db: server_deploy(db, PartitionInfo(0, 1)),
+    )
+    for payloads in baseline_payloads + overload_payloads:
+        for rows in payloads:
+            single.ingest("sfeed", rows)
+    single_state = sorted(single.execute("SELECT acct, total FROM sbal").rows)
+
+    # Fork the worker processes while this process is still single-threaded;
+    # every server/client thread lives strictly after this point.
+    pdb = PartitionedDatabase(
+        PARTITIONS,
+        server_deploy,
+        partition_keys={"sfeed": "acct", "sbal": "acct"},
+        workers="process",
+    )
+    try:
+        baseline = serve_phase(
+            pdb,
+            baseline_payloads,
+            per_conn=BASELINE_INFLIGHT_PER_CONN,
+            total=BASELINE_INFLIGHT_TOTAL,
+        )
+        overload = serve_phase(
+            pdb,
+            overload_payloads,
+            per_conn=OVERLOAD_INFLIGHT_PER_CONN,
+            total=OVERLOAD_INFLIGHT_TOTAL,
+        )
+
+        identical = pdb.merged_table_rows("sbal") == single_state
+        stats = pdb.stats()
+        resident = sum(
+            p["streaming"]["streams"]["sfeed"]["rows"] for p in stats["partitions"]
+        )
+        reclaimed = sum(
+            p["streaming"]["streams"]["sfeed"]["reclaimed_rows"]
+            for p in stats["partitions"]
+        )
+    finally:
+        pdb.close()
+
+    baseline_rps = baseline["rows_per_sec"]
+    overload_rps = overload["rows_per_sec"]
+    return {
+        "benchmark": "pr7-server",
+        "config": {
+            "clients": clients,
+            "partitions": PARTITIONS,
+            "rows_per_batch": rows_per_batch,
+            "baseline_inflight": [BASELINE_INFLIGHT_PER_CONN, BASELINE_INFLIGHT_TOTAL],
+            "overload_inflight": [OVERLOAD_INFLIGHT_PER_CONN, OVERLOAD_INFLIGHT_TOTAL],
+        },
+        "results": {"baseline": baseline, "overload": overload},
+        "derived": {
+            "identical_state": identical,
+            "baseline_rows_per_sec": baseline_rps,
+            "overload_rows_per_sec_admitted": overload_rps,
+            "overload_over_baseline_rps": (
+                overload_rps / baseline_rps if baseline_rps else 0.0
+            ),
+            "baseline_rejections": baseline["rejections"],
+            "overload_rejections": overload["rejections"],
+            "rejection_accounting_consistent": (
+                overload["server"]["rejected"]["total"] == overload["rejections"]
+                and baseline["server"]["rejected"]["total"] == baseline["rejections"]
+            ),
+            "p99_ms_baseline": baseline["latency"]["p99_ms"],
+            "p99_ms_overload": overload["latency"]["p99_ms"],
+            "stream_resident_rows": resident,
+            "stream_reclaimed_rows": reclaimed,
+            "stream_resident_bound": clients * rows_per_batch,
+        },
+    }
+
+
+def check_thresholds(report: dict) -> list[str]:
+    """The PR's acceptance criteria; returns a list of failure messages."""
+    failures = []
+    derived = report["derived"]
+    if not derived["identical_state"]:
+        failures.append(
+            "served partitioned run diverged from the serial reference "
+            "(merged sbal rows mismatch — a batch was lost or applied twice)"
+        )
+    if derived["baseline_rejections"] != 0:
+        failures.append(
+            f"{derived['baseline_rejections']} rejection(s) in the baseline "
+            f"phase (budgets cannot fill with one outstanding request per "
+            f"client — expected exactly 0)"
+        )
+    if derived["overload_rejections"] < 1:
+        failures.append(
+            "overload phase produced no rejections — admission control "
+            "never engaged (budgets too generous for the client count?)"
+        )
+    if not derived["rejection_accounting_consistent"]:
+        failures.append(
+            "server rejection counters disagree with the rejections the "
+            "clients observed"
+        )
+    if derived["overload_over_baseline_rps"] < OVERLOAD_RPS_FLOOR:
+        failures.append(
+            f"admitted throughput under overload is only "
+            f"{derived['overload_over_baseline_rps']:.2f}x the baseline rate "
+            f"(need >= {OVERLOAD_RPS_FLOOR}x: rejection must be cheap)"
+        )
+    if derived["p99_ms_baseline"] <= 0.0:
+        failures.append("no baseline latency samples were collected")
+    if derived["stream_resident_rows"] > derived["stream_resident_bound"]:
+        failures.append(
+            f"{derived['stream_resident_rows']} stream rows still resident "
+            f"after drain (bound: {derived['stream_resident_bound']} — one "
+            f"closed-loop round); stream GC is not keeping up"
+        )
+    if derived["stream_reclaimed_rows"] <= 0:
+        failures.append("stream GC reclaimed nothing over the whole run")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=CLIENTS,
+                        help=f"concurrent closed-loop clients (default {CLIENTS})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny batch counts for CI: same thresholds, fast run")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_pr7.json",
+                        help="output JSON path (default: repo-root BENCH_pr7.json)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip acceptance-threshold enforcement")
+    args = parser.parse_args(argv)
+
+    sizes = dict(clients=args.clients)
+    if args.smoke:
+        sizes.update(
+            baseline_batches=SMOKE_BASELINE_BATCHES,
+            overload_batches=SMOKE_OVERLOAD_BATCHES,
+            rows_per_batch=SMOKE_ROWS_PER_BATCH,
+        )
+    report = run_benchmark(**sizes)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    derived = report["derived"]
+    base = report["results"]["baseline"]
+    over = report["results"]["overload"]
+    print(f"wrote {args.out}")
+    print(f"  baseline              : {base['rows_per_sec']:,.0f} rows/s from "
+          f"{base['clients']} clients ({base['batches']} batches, "
+          f"{base['rejections']} rejections)")
+    print(f"  baseline latency      : p50={base['latency']['p50_ms']:.2f}ms "
+          f"p95={base['latency']['p95_ms']:.2f}ms "
+          f"p99={base['latency']['p99_ms']:.2f}ms")
+    print(f"  overload (admitted)   : {over['rows_per_sec']:,.0f} rows/s "
+          f"({derived['overload_over_baseline_rps']:.2f}x baseline, "
+          f"{over['rejections']} rejections, accounting consistent: "
+          f"{derived['rejection_accounting_consistent']})")
+    print(f"  overload latency      : p50={over['latency']['p50_ms']:.2f}ms "
+          f"p95={over['latency']['p95_ms']:.2f}ms "
+          f"p99={over['latency']['p99_ms']:.2f}ms")
+    print(f"  state                 : identical to serial reference: "
+          f"{derived['identical_state']}")
+    print(f"  stream GC             : {derived['stream_reclaimed_rows']} rows "
+          f"reclaimed, {derived['stream_resident_rows']} resident "
+          f"(bound {derived['stream_resident_bound']})")
+
+    if not args.no_check:
+        failures = check_thresholds(report)
+        if failures:
+            for f in failures:
+                print(f"THRESHOLD FAILED: {f}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,15 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``retryable`` marks errors that describe a *transient* condition the
+    caller may safely retry (today: admission-control rejections).  It is
+    a class attribute so the flag survives a trip across a process or
+    socket boundary, where errors are rebuilt by class name.
+    """
+
+    retryable = False
 
 
 # ---------------------------------------------------------------------------
@@ -132,6 +140,43 @@ class PartitionError(TransactionError):
 
 
 # ---------------------------------------------------------------------------
+# Network front door / wire layer
+# ---------------------------------------------------------------------------
+
+class ServerError(ReproError):
+    """Base class for network front-door failures (framing, protocol,
+    handshake, admission control)."""
+
+
+class ConnectionClosedError(ServerError):
+    """The peer hung up — cleanly between frames, or tearing one mid-read
+    (``mid_frame=True``)."""
+
+    def __init__(self, message: str, *, mid_frame: bool = False):
+        super().__init__(message)
+        self.mid_frame = mid_frame
+
+
+class ProtocolError(ServerError):
+    """The byte stream violated the wire protocol: bad handshake, corrupt
+    or malformed frame, or an unknown operation."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame announced a length beyond the configured limit.  Raised
+    sender-side before writing and receiver-side before reading the body,
+    so neither end ever materialises an oversized payload."""
+
+
+class BackpressureError(ServerError):
+    """Admission control rejected the request: an in-flight budget (per
+    connection or global) was full.  Nothing was queued or executed; the
+    request is safe to retry — the typed, retryable shed-load signal."""
+
+    retryable = True
+
+
+# ---------------------------------------------------------------------------
 # Streaming model
 # ---------------------------------------------------------------------------
 
@@ -161,3 +206,23 @@ class BatchOrderError(StreamingError):
 
 class ScheduleViolation(StreamingError):
     """A committed schedule violated the workflow/stream order constraints."""
+
+
+# ---------------------------------------------------------------------------
+# Wire registry: errors that cross a process or socket boundary are sent
+# by class name and rebuilt here on the other side.
+# ---------------------------------------------------------------------------
+
+#: name → class for every public error in this module.
+ERROR_CLASSES: dict[str, type] = {
+    _name: _obj
+    for _name, _obj in list(globals().items())
+    if isinstance(_obj, type) and issubclass(_obj, ReproError)
+}
+
+
+def error_class(name: str, default: type = ReproError) -> type:
+    """Resolve a wire error-class name; foreign names fall back to
+    ``default`` so a peer can never make the caller raise a non-library
+    exception type."""
+    return ERROR_CLASSES.get(name, default)

@@ -179,6 +179,9 @@ class Database:
         #: layer's visibility/DML rules; deliberately not exposed through
         #: any public signature.
         self._guard = self.streaming.guard
+        #: extra :meth:`stats` sections contributed by attached subsystems
+        #: (e.g. a network server registers ``"server"``); name → thunk
+        self._stats_sections: dict[str, Any] = {}
         #: durability sidecar (command log + checkpoints); None = memory-only
         self._recovery: Optional[RecoveryManager] = None
         if recovery_dir is not None:
@@ -1102,6 +1105,23 @@ class Database:
             if n:
                 clock.charge(event, getattr(cost, attr) * n, count=n)
 
+    def add_stats_section(self, name: str, thunk) -> None:
+        """Attach an extra section to :meth:`stats`.
+
+        ``thunk()`` is called on every stats snapshot and its return value
+        appears under ``name``.  This is how subsystems that *front* the
+        engine (today: the network server, :mod:`repro.server`) surface
+        their counters through the one stats API benchmarks and dashboards
+        already read.  Re-registering a name replaces the previous thunk;
+        a registered section shadows any built-in key of the same name.
+        """
+        self._stats_sections[name] = thunk
+
+    def remove_stats_section(self, name: str) -> None:
+        """Detach a section added by :meth:`add_stats_section` (no-op if
+        absent)."""
+        self._stats_sections.pop(name, None)
+
     def stats(self) -> dict[str, Any]:
         """One snapshot for dashboards/benchmarks.
 
@@ -1113,15 +1133,16 @@ class Database:
             procedure_calls/open), ``procedures`` (pinned-plan counts),
             ``plan_cache`` (hits/misses/evictions), ``tables``
             (row counts, kinds, declared columns), ``streaming``
-            (watermarks, windows, trigger fires, scheduler state), and
+            (watermarks, windows, trigger fires, scheduler state),
             ``recovery`` (command-log/checkpoint state and what the
-            open-time recovery replayed; None when memory-only).
+            open-time recovery replayed; None when memory-only), plus one
+            key per attached :meth:`add_stats_section` section.
 
         Table column listings show the *declared* schema only — hidden
         ``__``-prefixed metadata columns are engine-internal.  Never
         raises; safe to call at any point between statements.
         """
-        return {
+        snapshot = {
             "sim_time_us": self.clock.now_us,
             "schema_epoch": self.schema_epoch,
             "events": dict(self.clock.events),
@@ -1145,6 +1166,9 @@ class Database:
             "streaming": self.streaming.stats(),
             "recovery": self._recovery.stats() if self._recovery is not None else None,
         }
+        for name, thunk in self._stats_sections.items():
+            snapshot[name] = thunk()
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         open_txn = self._txn.txn_id if self._txn is not None else None

@@ -213,6 +213,9 @@ class PartitionedDatabase:
         self._max_inflight = max_inflight
         #: routing / protocol tallies, reported by :meth:`stats`
         self.routing: Counter[str] = Counter()
+        #: extra :meth:`stats` sections contributed by attached subsystems
+        #: (same contract as ``Database.add_stats_section``)
+        self._stats_sections: dict[str, Any] = {}
         self._next_xid = 1
         self._closed = False
         handle_cls = _InlineHandle if workers == "inline" else _ProcessHandle
@@ -523,10 +526,22 @@ class PartitionedDatabase:
             merged.extend(tuple(values) for _rowid, values in state["rows"])
         return sorted(merged, key=_row_sort_key)
 
+    def add_stats_section(self, name: str, thunk) -> None:
+        """Attach an extra section to :meth:`stats` — same contract as
+        ``Database.add_stats_section`` (the network server registers its
+        ``"server"`` counters here when fronting a partitioned engine)."""
+        self._stats_sections[name] = thunk
+
+    def remove_stats_section(self, name: str) -> None:
+        """Detach a section added by :meth:`add_stats_section` (no-op if
+        absent)."""
+        self._stats_sections.pop(name, None)
+
     def stats(self) -> dict[str, Any]:
         """Aggregated counters: routing/protocol tallies, per-partition
-        engine stats, and cross-partition sums (transactions, table row
-        counts)."""
+        engine stats, cross-partition sums (transactions, table row
+        counts), plus one key per attached :meth:`add_stats_section`
+        section."""
         self.barrier()
         per = [
             self._request(pid, {"op": "stats"}) for pid in range(self.num_partitions)
@@ -539,7 +554,7 @@ class PartitionedDatabase:
                     txns[key] += value
             for t, meta in s["tables"].items():
                 table_rows[t] += meta["rows"]
-        return {
+        snapshot = {
             "num_partitions": self.num_partitions,
             "mode": self.partition_map.mode,
             "workers": self.workers,
@@ -548,6 +563,9 @@ class PartitionedDatabase:
             "table_rows": dict(table_rows),
             "partitions": per,
         }
+        for name, thunk in self._stats_sections.items():
+            snapshot[name] = thunk()
+        return snapshot
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -1,12 +1,14 @@
 """Framed RPC between the coordinator and its partition workers.
 
 The wire protocol is deliberately tiny: every message — request or reply —
-is one :func:`repro.common.serde.encode_record` line (versioned JSON with a
-CRC32), prefixed by a 4-byte big-endian length.  Reusing the command-log
-framing means the pipe carries exactly the value domain the engine already
-guarantees is serialisable (JSON-safe SQL values), the checksum catches a
-torn or corrupted frame, and there is no pickle on the wire — a worker
-cannot be made to execute arbitrary code by a malformed frame.
+is one frame as defined by :mod:`repro.common.framing` (a
+:func:`repro.common.serde.encode_record` line, versioned JSON with a CRC32,
+prefixed by a 4-byte big-endian length).  Sharing the framing with the
+command log and the network front door means the pipe carries exactly the
+value domain the engine already guarantees is serialisable (JSON-safe SQL
+values), the checksum catches a torn or corrupted frame, and there is no
+pickle on the wire — a worker cannot be made to execute arbitrary code by
+a malformed frame.
 
 Messages are dicts.  A request carries ``{"op": ..., ...operands}``; a
 reply is either ``{"ok": True, "value": ...}`` or
@@ -25,32 +27,36 @@ may post many ingest requests before collecting any replies.
 from __future__ import annotations
 
 import socket
-import struct
 from typing import Any
 
-from ..common import errors as _errors
-from ..common.errors import PartitionError
-from ..common.serde import decode_record, encode_record
+from ..common.errors import ERROR_CLASSES, PartitionError
+from ..common.framing import (
+    ConnectionClosedError,
+    FrameTooLargeError,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
 from ..sql.executor import ResultSet
 
-_HEADER = struct.Struct(">I")
-
-#: name → class for every public error; foreign names fall back to
-#: :class:`PartitionError` when a reply is re-raised coordinator-side.
-ERROR_CLASSES: dict[str, type] = {
-    name: obj
-    for name, obj in vars(_errors).items()
-    if isinstance(obj, type) and issubclass(obj, _errors.ReproError)
-}
+__all__ = [
+    "ERROR_CLASSES",
+    "Channel",
+    "value_reply",
+    "error_reply",
+    "raise_reply_error",
+    "encode_value",
+    "decode_value",
+]
 
 
 class Channel:
     """One framed, ordered, bidirectional message pipe over a socket.
 
-    ``send`` encodes fully before writing, so an unserialisable record
-    raises without emitting a partial frame; ``recv`` reads exact frame
-    boundaries and verifies the serde checksum.  A peer that hangs up
-    raises :class:`PartitionError` (never a bare ``OSError``)."""
+    A thin wrapper over :mod:`repro.common.framing` that maps every wire
+    failure — peer hang-up, torn/oversized/corrupt frame — to
+    :class:`PartitionError` (never a bare ``OSError``), since for the
+    coordinator any such failure means one thing: the worker is gone."""
 
     __slots__ = ("_sock",)
 
@@ -58,32 +64,19 @@ class Channel:
         self._sock = sock
 
     def send(self, record: dict[str, Any]) -> None:
-        line = encode_record(record).encode("utf-8")
         try:
-            self._sock.sendall(_HEADER.pack(len(line)) + line)
-        except OSError as exc:
+            send_frame(self._sock, record)
+        except ConnectionClosedError as exc:
             raise PartitionError(f"worker pipe broken during send: {exc}") from exc
 
     def recv(self) -> dict[str, Any]:
-        (length,) = _HEADER.unpack(self._recv_exact(_HEADER.size))
-        return decode_record(self._recv_exact(length).decode("utf-8"))
-
-    def _recv_exact(self, n: int) -> bytes:
-        chunks: list[bytes] = []
-        remaining = n
-        while remaining:
-            try:
-                chunk = self._sock.recv(remaining)
-            except OSError as exc:
-                raise PartitionError(f"worker pipe broken during recv: {exc}") from exc
-            if not chunk:
-                raise PartitionError(
-                    "worker hung up (connection closed"
-                    + (" mid-frame)" if len(chunks) or remaining != n else ")")
-                )
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+        try:
+            record, _ = recv_frame(self._sock)
+        except ConnectionClosedError as exc:
+            raise PartitionError(f"worker hung up ({exc})") from exc
+        except (FrameTooLargeError, ProtocolError) as exc:
+            raise PartitionError(f"bad frame from worker: {exc}") from exc
+        return record
 
     def close(self) -> None:
         try:
@@ -105,7 +98,9 @@ def error_reply(exc: BaseException) -> dict[str, Any]:
 
 
 def raise_reply_error(reply: dict[str, Any], partition_id: int) -> None:
-    """Re-raise a worker's error reply as its original exception class."""
+    """Re-raise a worker's error reply as its original exception class.
+
+    Foreign class names fall back to :class:`PartitionError`."""
     cls = ERROR_CLASSES.get(reply.get("error", ""), PartitionError)
     raise cls(f"[partition {partition_id}] {reply.get('message', 'unknown worker error')}")
 

@@ -1,0 +1,20 @@
+"""Network front door: serve the engine over TCP with admission control.
+
+``ReproServer`` fronts a :class:`~repro.engine.database.Database` or a
+:class:`~repro.partition.coordinator.PartitionedDatabase`; ``ReproClient``
+(blocking) and ``AsyncReproClient`` (asyncio) speak its frame protocol.
+See ARCHITECTURE.md § "Network front door" for the wire format,
+handshake, and backpressure rules.
+"""
+
+from .client import AsyncReproClient, ReproClient
+from .protocol import PROTOCOL_VERSION
+from .server import ReproServer, serve
+
+__all__ = [
+    "AsyncReproClient",
+    "PROTOCOL_VERSION",
+    "ReproClient",
+    "ReproServer",
+    "serve",
+]

@@ -1,0 +1,319 @@
+"""Clients for the network front door.
+
+:class:`ReproClient` is the workhorse: a blocking, socket-based client
+mirroring the engine facade (``execute`` / ``executemany`` / ``call`` /
+``ingest`` / ``drain`` / ``stats``), safe to use from benchmark worker
+threads or processes (one client per worker — a client is a connection,
+and a connection is a FIFO reply stream owned by one caller at a time).
+
+:class:`AsyncReproClient` is the minimal asyncio twin for callers that
+already live on an event loop.
+
+Both support **pipelining**: ``post()`` sends a request without waiting
+and ``collect()`` takes the oldest outstanding reply — the same FIFO
+matching the coordinator uses against its workers.  The high-level
+methods are strictly request/reply and refuse to run with posts
+outstanding (interleaving them would mis-match replies).
+
+Error replies re-raise as the engine's own exception classes, resolved
+by name (foreign names fall back to
+:class:`~repro.common.errors.ServerError`), with the message prefixed
+``[server]`` so a remote failure names its origin.  Admission-control
+rejections are :class:`~repro.common.errors.BackpressureError` with
+``retryable = True``; :meth:`ReproClient.ingest` can retry those itself
+(``retries=``) with exponential backoff — safe because a rejected batch
+was never executed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any, Optional, Sequence
+
+from ..common.errors import ProtocolError, ServerError, error_class
+from ..common.framing import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame_async,
+    recv_frame,
+    send_frame,
+)
+from .protocol import PROTOCOL_VERSION, decode_value
+
+
+def _raise_reply(reply: dict[str, Any]) -> None:
+    cls = error_class(reply.get("error", ""), ServerError)
+    raise cls(f"[server] {reply.get('message', 'unknown server error')}")
+
+
+def _decode_reply(reply: dict[str, Any]) -> Any:
+    if not reply.get("ok"):
+        _raise_reply(reply)
+    return decode_value(reply.get("value"))
+
+
+def _ingest_result(value: Any) -> Any:
+    # a partitioned reply is {partition: batch ids}; JSON stringified the
+    # int keys in transit — restore them
+    if isinstance(value, dict):
+        return {int(pid): ids for pid, ids in value.items()}
+    return value
+
+
+class ReproClient:
+    """Blocking client for one :class:`~repro.server.ReproServer`.
+
+    Connecting performs the handshake; :attr:`server_info` then carries
+    the server's metadata (``partitioned``, limits).  Close with
+    :meth:`close` or use as a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        connect_timeout: float = 5.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self._limit = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._outstanding = 0
+        self._closed = False
+        try:
+            self.server_info: dict[str, Any] = self._request(
+                {"op": "hello", "protocol": PROTOCOL_VERSION}
+            )
+        except BaseException:
+            self._sock.close()
+            self._closed = True
+            raise
+        self.partitioned: bool = bool(self.server_info.get("partitioned"))
+
+    # -- pipelining primitives ------------------------------------------------
+
+    def post(self, record: dict[str, Any]) -> None:
+        """Send one request without waiting; replies arrive in FIFO order
+        via :meth:`collect`."""
+        send_frame(self._sock, record, limit=self._limit)
+        self._outstanding += 1
+
+    def collect(self) -> Any:
+        """Take the oldest outstanding reply (raises its typed error)."""
+        if not self._outstanding:
+            raise ProtocolError("collect() with no outstanding post()")
+        reply, _ = recv_frame(self._sock, limit=self._limit)
+        self._outstanding -= 1
+        return _decode_reply(reply)
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    def _request(self, record: dict[str, Any]) -> Any:
+        if self._outstanding:
+            raise ProtocolError(
+                f"{self._outstanding} pipelined post(s) outstanding — "
+                "collect() them before a synchronous call"
+            )
+        self.post(record)
+        return self.collect()
+
+    # -- the engine facade, remoted -------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> Any:
+        """Run one statement; returns the :class:`ResultSet`.  ``key=``
+        routes to one partition of a partitioned engine (ignored by a
+        single engine — it is the one partition)."""
+        return self._request(
+            {"op": "execute", "sql": sql, "params": list(params), "key": key}
+        )
+
+    def query(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> list[dict]:
+        return self.execute(sql, params, key=key).to_dicts()
+
+    def executemany(
+        self, sql: str, param_rows, *, key_position: Optional[int] = None
+    ) -> int:
+        return self._request(
+            {
+                "op": "executemany",
+                "sql": sql,
+                "rows": [list(r) for r in param_rows],
+                "key_position": key_position,
+            }
+        )
+
+    def call(self, name: str, *args: Any, key: Any = None) -> Any:
+        return self._request({"op": "call", "proc": name, "args": list(args), "key": key})
+
+    def ingest(
+        self,
+        stream: str,
+        rows,
+        batch_id: Optional[int] = None,
+        *,
+        retries: int = 0,
+        backoff: float = 0.01,
+    ) -> Any:
+        """Ingest one atomic batch.  Returns the applied batch ids — a
+        list from a single engine, ``{partition: ids}`` from a
+        partitioned one.
+
+        ``retries`` re-submits after a *retryable* rejection (admission
+        control), sleeping ``backoff * 2**attempt`` between tries.  A
+        rejected batch was never executed, so the retry applies exactly
+        once.
+        """
+        record = {
+            "op": "ingest",
+            "stream": stream,
+            "rows": [list(r) for r in rows],
+            "batch_id": batch_id,
+        }
+        attempt = 0
+        while True:
+            try:
+                return _ingest_result(self._request(record))
+            except ServerError as exc:
+                if not exc.retryable or attempt >= retries:
+                    raise
+                time.sleep(backoff * (2 ** attempt))
+                attempt += 1
+
+    def drain(self) -> int:
+        return self._request({"op": "drain"})
+
+    def flush_log(self) -> None:
+        return self._request({"op": "flush_log"})
+
+    def stats(self) -> dict[str, Any]:
+        return self._request({"op": "stats"})
+
+    def ping(self) -> str:
+        return self._request({"op": "ping"})
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful goodbye (best-effort) and socket close.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if not self._outstanding:
+                self._request({"op": "bye"})
+        except Exception:
+            pass  # the goodbye is courtesy; the close is what matters
+        self._sock.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class AsyncReproClient:
+    """Minimal asyncio client — the same protocol on an event loop.
+
+    Build with :meth:`connect`; one outstanding-reply FIFO per client,
+    same pipelining rules as :class:`ReproClient`.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._limit = max_frame_bytes
+        self._outstanding = 0
+        self.server_info: dict[str, Any] = {}
+        self.partitioned = False
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> "AsyncReproClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_frame_bytes=max_frame_bytes)
+        client.server_info = await client.request(
+            {"op": "hello", "protocol": PROTOCOL_VERSION}
+        )
+        client.partitioned = bool(client.server_info.get("partitioned"))
+        return client
+
+    async def post(self, record: dict[str, Any]) -> None:
+        self._writer.write(encode_frame(record, limit=self._limit))
+        await self._writer.drain()
+        self._outstanding += 1
+
+    async def collect(self) -> Any:
+        if not self._outstanding:
+            raise ProtocolError("collect() with no outstanding post()")
+        reply, _ = await read_frame_async(self._reader, limit=self._limit)
+        self._outstanding -= 1
+        return _decode_reply(reply)
+
+    async def request(self, record: dict[str, Any]) -> Any:
+        if self._outstanding:
+            raise ProtocolError(
+                f"{self._outstanding} pipelined post(s) outstanding — "
+                "collect() them before a synchronous call"
+            )
+        await self.post(record)
+        return await self.collect()
+
+    async def execute(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> Any:
+        return await self.request(
+            {"op": "execute", "sql": sql, "params": list(params), "key": key}
+        )
+
+    async def call(self, name: str, *args: Any, key: Any = None) -> Any:
+        return await self.request(
+            {"op": "call", "proc": name, "args": list(args), "key": key}
+        )
+
+    async def ingest(self, stream: str, rows, batch_id: Optional[int] = None) -> Any:
+        return _ingest_result(
+            await self.request(
+                {
+                    "op": "ingest",
+                    "stream": stream,
+                    "rows": [list(r) for r in rows],
+                    "batch_id": batch_id,
+                }
+            )
+        )
+
+    async def drain(self) -> int:
+        return await self.request({"op": "drain"})
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.request({"op": "stats"})
+
+    async def ping(self) -> str:
+        return await self.request({"op": "ping"})
+
+    async def close(self) -> None:
+        try:
+            if not self._outstanding:
+                await self.request({"op": "bye"})
+        except Exception:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
