@@ -8,7 +8,8 @@ worker processes, in two phases against the same engine:
 * ``baseline`` — generous admission budgets: every request is admitted;
   measures the served closed-loop service rate and per-request latency
   percentiles (p50/p95/p99 of the successful attempt, measured at the
-  client).
+  client into per-thread :class:`~repro.obs.LatencyHistogram`\ s and
+  bucket-merged — the observability layer's own percentile machinery).
 * ``overload`` — the same clients against deliberately tiny in-flight
   budgets: the server must *reject* the excess with the typed retryable
   error (:class:`~repro.common.errors.BackpressureError`) instead of
@@ -50,6 +51,7 @@ from repro.common.clock import CostModel  # noqa: E402
 from repro.common.errors import BackpressureError  # noqa: E402
 from repro.common.types import ColumnType  # noqa: E402
 from repro.engine import Database  # noqa: E402
+from repro.obs import LatencyHistogram  # noqa: E402
 from repro.partition import PartitionedDatabase, PartitionInfo  # noqa: E402
 from repro.server import ReproClient, ReproServer  # noqa: E402
 from repro.storage.schema import schema  # noqa: E402
@@ -138,21 +140,17 @@ def make_payloads(clients: int, batches: int, rows_per_batch: int, seed: int):
     ]
 
 
-def percentile(sorted_vals: list[float], q: float) -> float:
-    if not sorted_vals:
-        return 0.0
-    idx = min(len(sorted_vals) - 1, round(q * (len(sorted_vals) - 1)))
-    return sorted_vals[idx]
-
-
-def latency_summary(latencies: list[float]) -> dict:
-    ordered = sorted(latencies)
+def latency_summary(hist: LatencyHistogram) -> dict:
+    """Report shape kept from the pre-histogram harness; the percentiles
+    now come from one merged :class:`~repro.obs.LatencyHistogram` (the
+    same machinery ``stats()["obs"]`` reports from) instead of ad-hoc
+    sorted-list index math."""
     return {
-        "requests": len(ordered),
-        "p50_ms": percentile(ordered, 0.50) * 1e3,
-        "p95_ms": percentile(ordered, 0.95) * 1e3,
-        "p99_ms": percentile(ordered, 0.99) * 1e3,
-        "max_ms": (ordered[-1] if ordered else 0.0) * 1e3,
+        "requests": hist.count,
+        "p50_ms": hist.percentile(0.50) / 1e3,
+        "p95_ms": hist.percentile(0.95) / 1e3,
+        "p99_ms": hist.percentile(0.99) / 1e3,
+        "max_ms": (hist.max_us or 0.0) / 1e3,
     }
 
 
@@ -163,7 +161,7 @@ def run_closed_loop(address: tuple[str, int], payload_sets) -> dict:
     was never executed, so the retry applies it exactly once."""
     n = len(payload_sets)
     start_gate = threading.Barrier(n + 1)
-    results = [{"latencies": [], "rejections": 0} for _ in range(n)]
+    results = [{"hist": LatencyHistogram(), "rejections": 0} for _ in range(n)]
     errors: list[BaseException] = []
 
     def worker(payloads, out) -> None:
@@ -175,7 +173,7 @@ def run_closed_loop(address: tuple[str, int], payload_sets) -> dict:
                         t0 = time.perf_counter()
                         try:
                             client.ingest("sfeed", rows)
-                            out["latencies"].append(time.perf_counter() - t0)
+                            out["hist"].observe((time.perf_counter() - t0) * 1e6)
                             break
                         except BackpressureError:
                             out["rejections"] += 1
@@ -198,7 +196,8 @@ def run_closed_loop(address: tuple[str, int], payload_sets) -> dict:
     if errors:
         raise RuntimeError(f"client thread failed: {errors[0]!r}") from errors[0]
 
-    latencies = [lat for out in results for lat in out["latencies"]]
+    # per-client histograms merge exactly (shared fixed bucket layout)
+    merged = LatencyHistogram.merged(out["hist"].snapshot() for out in results)
     total_rows = sum(len(rows) for payloads in payload_sets for rows in payloads)
     return {
         "clients": n,
@@ -207,7 +206,7 @@ def run_closed_loop(address: tuple[str, int], payload_sets) -> dict:
         "wall_s": wall_s,
         "rows_per_sec": total_rows / wall_s if wall_s else 0.0,
         "rejections": sum(out["rejections"] for out in results),
-        "latency": latency_summary(latencies),
+        "latency": latency_summary(merged),
     }
 
 
@@ -276,7 +275,7 @@ def run_benchmark(
             p["streaming"]["streams"]["sfeed"]["rows"] for p in stats["partitions"]
         )
         reclaimed = sum(
-            p["streaming"]["streams"]["sfeed"]["reclaimed_rows"]
+            p["streaming"]["streams"]["sfeed"]["rows_reclaimed"]
             for p in stats["partitions"]
         )
     finally:

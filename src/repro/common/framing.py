@@ -45,6 +45,16 @@ from .serde import decode_record, encode_record
 #: 4-byte big-endian unsigned length prefix.
 HEADER = struct.Struct(">I")
 
+#: Reserved request-dict key carrying trace context across a hop.
+#: Because every frame is a plain JSON dict, distributed tracing needs no
+#: wire-format change: a sender that wants its span to parent the
+#: receiver's work puts ``{"trace_id": ..., "span_id": ...}`` under this
+#: key (see :meth:`repro.obs.tracing.Span.context`), and the receiver
+#: pops it before dispatch and ``activate()``\ s it.  Both the
+#: client→server and coordinator→worker hops use exactly this mechanism,
+#: which is what lets one ingested batch's trace stitch end to end.
+TRACE_KEY = "__trace__"
+
 #: Default per-frame byte ceiling (header excluded).  Generous enough for
 #: any sane batch; small enough that one bad frame cannot exhaust memory.
 MAX_FRAME_BYTES = 8 * 1024 * 1024

@@ -61,6 +61,7 @@ from ..common.errors import (
     TransactionAborted,
     TransactionError,
 )
+from ..obs import observability
 from ..recovery.manager import RecoveryManager
 from ..sql.executor import ExecutionContext, ResultSet
 from ..sql.planner import PreparedStatement, prepare
@@ -89,6 +90,16 @@ _EXECUTION_CHARGES: tuple[tuple[str, str], ...] = (
 _TXN_STAT_KEYS = ("begun", "committed", "aborted", "implicit", "procedure_calls")
 
 
+def _safe_section(thunk) -> Any:
+    """Evaluate a registered stats-section thunk, degrading a raising
+    thunk to an ``{"error": ...}`` value so one broken section can never
+    take down the whole ``stats()`` snapshot."""
+    try:
+        return thunk()
+    except Exception as exc:  # noqa: BLE001 - stats must never raise
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
 class Database:
     """One partition's engine: DDL, transactions, procedures, accounting."""
 
@@ -105,6 +116,7 @@ class Database:
         group_commit_bytes: int = 64 * 1024,
         verify_recovery: bool = False,
         readonly: bool = False,
+        obs=None,
     ):
         """Open one partition's engine.
 
@@ -139,6 +151,12 @@ class Database:
             readonly: recover state but never write to the recovery
                 directory (no log appends, no checkpoints) — for
                 inspection and weak-recovery verification.
+            obs: observability handle — an
+                :class:`~repro.obs.Observability`, ``"metrics"``,
+                ``"full"``, or ``None``/``"off"`` (the default: the
+                shared no-op, near-zero cost).  When enabled, its
+                registry surfaces as the ``"obs"`` :meth:`stats` section
+                and pipeline stages emit wall-clock trace spans.
 
         Raises:
             ValueError: both ``cost`` and ``clock`` given, or an unknown
@@ -153,6 +171,12 @@ class Database:
                 "its own CostModel)"
             )
         self.clock = clock if clock is not None else SimClock(cost or CostModel.calibrated())
+        #: the observability handle; DISABLED (a shared no-op) by default.
+        #: Instrumentation sites guard on ``self.obs.enabled`` so the
+        #: disabled path costs one attribute load and a branch.
+        self.obs = observability(obs, process="engine")
+        #: the span covering the currently open transaction, if tracing
+        self._txn_span = None
         self.catalog = Catalog()
         self.plan_cache = PlanCache(plan_cache_size)
         #: bumped on every DDL; prepared statements are stamped with it so
@@ -182,6 +206,9 @@ class Database:
         #: extra :meth:`stats` sections contributed by attached subsystems
         #: (e.g. a network server registers ``"server"``); name → thunk
         self._stats_sections: dict[str, Any] = {}
+        # the metrics registry *backs* stats() through the same hook any
+        # attached subsystem uses — one snapshot API, no parallel channel
+        self._stats_sections["obs"] = lambda: self.obs.stats_section()
         #: durability sidecar (command log + checkpoints); None = memory-only
         self._recovery: Optional[RecoveryManager] = None
         if recovery_dir is not None:
@@ -391,7 +418,7 @@ class Database:
         batches that every workflow subscriber has fully consumed (keeping
         the newest consumed batch), so sustained ingest does not grow
         memory without bound; ``stats()["streaming"]`` reports per-stream
-        and total ``reclaimed_rows``.
+        and total ``rows_reclaimed``.
 
         Returns:
             How many deliveries were processed.
@@ -584,24 +611,34 @@ class Database:
         self.txn_stats["begun"] += 1
         if implicit:
             self.txn_stats["implicit"] += 1
+        obs = self.obs
+        if obs.enabled:
+            # open until _txn_closed, so trigger/log spans nest inside it
+            self._txn_span = obs.span("txn", txn_id=txn.txn_id, implicit=implicit)
         return txn
 
     def _txn_closed(self, txn: Transaction, event: str) -> None:
         """Called by :class:`Transaction` after commit/abort settles state."""
         self._txn = None
         self.clock.charge_cost(event)
-        if event == "txn_commit":
-            self.txn_stats["committed"] += 1
-            # Command logging rides the commit path, before post-commit
-            # hooks fire, so parent records precede the downstream
-            # deliveries they trigger.
-            capture = self._log_capture
-            if capture is not None:
-                capture.on_commit(txn)
-        else:
-            self.txn_stats["aborted"] += 1
-            # aborted transactions publish no stream batches (no PE triggers)
-            self.streaming.on_abort(txn)
+        try:
+            if event == "txn_commit":
+                self.txn_stats["committed"] += 1
+                # Command logging rides the commit path, before post-commit
+                # hooks fire, so parent records precede the downstream
+                # deliveries they trigger.
+                capture = self._log_capture
+                if capture is not None:
+                    capture.on_commit(txn)
+            else:
+                self.txn_stats["aborted"] += 1
+                # aborted transactions publish no stream batches (no PE triggers)
+                self.streaming.on_abort(txn)
+        finally:
+            span = self._txn_span
+            if span is not None:
+                self._txn_span = None
+                span.finish(outcome="commit" if event == "txn_commit" else "abort")
 
     # -- stored procedures -----------------------------------------------------
 
@@ -689,6 +726,7 @@ class Database:
         *,
         before=None,
         log_record: Optional[dict] = None,
+        span: bool = True,
     ) -> Any:
         """Run one procedure invocation as one transaction.
 
@@ -702,6 +740,11 @@ class Database:
         ``{"op": "delivery", ...}`` record so replay re-drives the
         delivery (batch rebuilt from the stream table) instead of
         treating it as a client ``call``.
+
+        ``span=False`` skips the ``procedure`` trace span — the streaming
+        runtime's ``delivery`` span already times this exact invocation
+        (same bounds, same proc tag), so a second span would only add
+        hot-path cost and a redundant tree level.
         """
         if self._txn is not None:
             raise TransactionError(
@@ -713,37 +756,43 @@ class Database:
             # build + validate the record while nothing has happened yet:
             # unserialisable args must fail before the transaction opens
             log_record = capture.call_record(proc.name, args)
-        txn = self._begin(implicit=False)
-        if capture is not None:
-            txn.log_record = log_record
-        self.txn_stats["procedure_calls"] += 1
-        ctx = ProcedureContext(self, proc, txn)
-        prev_proc = self._current_proc
-        self._current_proc = proc.name
+        obs = self.obs
+        proc_span = obs.span("procedure", proc=proc.name) if span and obs.enabled else None
         try:
+            txn = self._begin(implicit=False)
+            if capture is not None:
+                txn.log_record = log_record
+            self.txn_stats["procedure_calls"] += 1
+            ctx = ProcedureContext(self, proc, txn)
+            prev_proc = self._current_proc
+            self._current_proc = proc.name
             try:
-                if before is not None:
-                    before(ctx)
-                result = proc.fn(ctx, *args)
-            except TransactionAborted:
+                try:
+                    if before is not None:
+                        before(ctx)
+                    result = proc.fn(ctx, *args)
+                except TransactionAborted:
+                    if txn.is_active:
+                        txn.abort()
+                    raise
+                except Exception as exc:
+                    if txn.is_active:
+                        txn.abort()
+                    raise ProcedureError(
+                        f"procedure {proc.name!r} failed and was rolled back: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                except BaseException:
+                    if txn.is_active:
+                        txn.abort()
+                    raise
                 if txn.is_active:
-                    txn.abort()
-                raise
-            except Exception as exc:
-                if txn.is_active:
-                    txn.abort()
-                raise ProcedureError(
-                    f"procedure {proc.name!r} failed and was rolled back: "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
-            except BaseException:
-                if txn.is_active:
-                    txn.abort()
-                raise
-            if txn.is_active:
-                txn.commit()
+                    txn.commit()
+            finally:
+                self._current_proc = prev_proc
         finally:
-            self._current_proc = prev_proc
+            if proc_span is not None:
+                proc_span.finish()
         return result
 
     def call_in_txn(self, name: str, *args: Any) -> Any:
@@ -1110,10 +1159,13 @@ class Database:
 
         ``thunk()`` is called on every stats snapshot and its return value
         appears under ``name``.  This is how subsystems that *front* the
-        engine (today: the network server, :mod:`repro.server`) surface
-        their counters through the one stats API benchmarks and dashboards
-        already read.  Re-registering a name replaces the previous thunk;
-        a registered section shadows any built-in key of the same name.
+        engine (the network server's ``"server"`` counters, the
+        observability registry's ``"obs"`` section) surface their state
+        through the one stats API benchmarks and dashboards already read.
+        Re-registering a name replaces the previous thunk; a registered
+        section shadows any built-in key of the same name.  A thunk that
+        raises does **not** break :meth:`stats` — its section becomes
+        ``{"error": "<class>: <message>"}``.
         """
         self._stats_sections[name] = thunk
 
@@ -1122,40 +1174,24 @@ class Database:
         absent)."""
         self._stats_sections.pop(name, None)
 
-    def stats(self) -> dict[str, Any]:
-        """One snapshot for dashboards/benchmarks.
-
-        Returns:
-            A dict with ``sim_time_us`` (simulated clock), ``events``
-            (architectural event tallies), ``schema_epoch``,
-            ``counters`` (lifetime execution counters),
-            ``transactions`` (begun/committed/aborted/implicit/
-            procedure_calls/open), ``procedures`` (pinned-plan counts),
-            ``plan_cache`` (hits/misses/evictions), ``tables``
-            (row counts, kinds, declared columns), ``streaming``
-            (watermarks, windows, trigger fires, scheduler state),
-            ``recovery`` (command-log/checkpoint state and what the
-            open-time recovery replayed; None when memory-only), plus one
-            key per attached :meth:`add_stats_section` section.
-
-        Table column listings show the *declared* schema only — hidden
-        ``__``-prefixed metadata columns are engine-internal.  Never
-        raises; safe to call at any point between statements.
-        """
-        snapshot = {
-            "sim_time_us": self.clock.now_us,
-            "schema_epoch": self.schema_epoch,
-            "events": dict(self.clock.events),
-            "counters": dict(self.counters),
-            "transactions": {
+    def _builtin_stats_sections(self) -> dict[str, Any]:
+        """Name → thunk for every built-in :meth:`stats` section, so a
+        selective ``stats(section=...)`` computes only what it returns."""
+        return {
+            "sim_time_us": lambda: self.clock.now_us,
+            "schema_epoch": lambda: self.schema_epoch,
+            "events": lambda: dict(self.clock.events),
+            "counters": lambda: dict(self.counters),
+            "transactions": lambda: {
                 **{key: self.txn_stats.get(key, 0) for key in _TXN_STAT_KEYS},
                 "open": self._txn is not None,
             },
-            "procedures": {
-                name: proc.pinned_count() for name, proc in sorted(self._procedures.items())
+            "procedures": lambda: {
+                name: proc.pinned_count()
+                for name, proc in sorted(self._procedures.items())
             },
-            "plan_cache": self.plan_cache.stats(),
-            "tables": {
+            "plan_cache": self.plan_cache.stats,
+            "tables": lambda: {
                 t.name: {
                     "rows": t.row_count(),
                     "kind": t.schema.kind.value,
@@ -1163,11 +1199,59 @@ class Database:
                 }
                 for t in self.catalog.tables()
             },
-            "streaming": self.streaming.stats(),
-            "recovery": self._recovery.stats() if self._recovery is not None else None,
+            "streaming": self.streaming.stats,
+            "recovery": lambda: (
+                self._recovery.stats() if self._recovery is not None else None
+            ),
         }
+
+    def stats(self, section: Optional[str] = None) -> Any:
+        """One snapshot for dashboards/benchmarks — or one section of it.
+
+        Args:
+            section: fetch just this section's value (computing only it —
+                wire clients poll one section without the engine
+                serialising the whole snapshot).  Registered sections
+                shadow built-ins, matching the full-snapshot behaviour.
+
+        Returns:
+            With ``section=None``, a dict with ``sim_time_us`` (simulated
+            clock), ``events`` (architectural event tallies),
+            ``schema_epoch``, ``counters`` (lifetime execution counters),
+            ``transactions`` (begun/committed/aborted/implicit/
+            procedure_calls/open), ``procedures`` (pinned-plan counts),
+            ``plan_cache`` (hits/misses/evictions), ``tables``
+            (row counts, kinds, declared columns), ``streaming``
+            (watermarks, windows, trigger fires, scheduler state),
+            ``recovery`` (command-log/checkpoint state and what the
+            open-time recovery replayed; None when memory-only), plus one
+            key per attached :meth:`add_stats_section` section (always
+            including ``obs``).  With ``section=``, that section's value
+            alone.
+
+        Raises:
+            KeyError: ``section`` names no built-in or registered section.
+
+        Table column listings show the *declared* schema only — hidden
+        ``__``-prefixed metadata columns are engine-internal.  The full
+        snapshot never raises (a failing registered thunk degrades to an
+        ``{"error": ...}`` section); safe to call between statements.
+        """
+        builtins = self._builtin_stats_sections()
+        if section is not None:
+            thunk = self._stats_sections.get(section)
+            if thunk is not None:
+                return _safe_section(thunk)
+            builtin = builtins.get(section)
+            if builtin is not None:
+                return builtin()
+            known = sorted(set(builtins) | set(self._stats_sections))
+            raise KeyError(
+                f"unknown stats section {section!r} (have: {', '.join(known)})"
+            )
+        snapshot = {name: thunk() for name, thunk in builtins.items()}
         for name, thunk in self._stats_sections.items():
-            snapshot[name] = thunk()
+            snapshot[name] = _safe_section(thunk)
         return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,183 @@
+"""End-to-end observability: metrics registry + wall-clock trace spans.
+
+This package is the measurement substrate of the engine (ISSUE 8): a
+:class:`MetricsRegistry` of counters/gauges/mergeable latency histograms
+and a :class:`~repro.obs.tracing.Tracer` of per-stage wall-clock spans,
+bundled behind one :class:`Observability` facade that every layer —
+engine, streaming, recovery, partition coordinator/workers, network
+server, clients — holds as its ``obs`` attribute.
+
+Three operating points:
+
+* ``DISABLED`` (the default everywhere) — a shared singleton whose
+  ``enabled`` is False and whose :meth:`~Observability.span` returns a
+  stateless no-op; an un-instrumented run pays one attribute load and a
+  branch per site (``bench_observability`` proves the bound);
+* ``Observability(tracing=False)`` — **metrics only**: every span site
+  still times itself and feeds its name's latency histogram, but nothing
+  is buffered in the span ring;
+* ``Observability()`` — **full tracing**: spans additionally land in the
+  bounded ring, stitched across process hops by the trace context that
+  rides request dicts (:data:`repro.common.framing.TRACE_KEY`).
+
+The registry *backs* ``stats()`` rather than duplicating it: a database
+built with ``obs=`` registers :meth:`Observability.stats_section` as the
+``"obs"`` section through the ``add_stats_section`` hook, so dashboards
+read p99s from the same snapshot API as every other counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from .metrics import BUCKET_BOUNDS_US, LatencyHistogram, MetricsRegistry
+from .tracing import NOOP_SPAN, Span, Tracer, read_jsonl, write_jsonl
+
+__all__ = [
+    "BUCKET_BOUNDS_US",
+    "DISABLED",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Observability",
+    "Span",
+    "Tracer",
+    "observability",
+    "read_jsonl",
+    "write_jsonl",
+]
+
+
+class Observability:
+    """One subsystem's metrics + tracing handle.
+
+    Args:
+        tracing: buffer finished spans in the ring (full mode).  With
+            ``False`` the span sites still time themselves and feed the
+            latency histograms — metrics-only mode.
+        capacity: span ring size (oldest spans drop beyond it).
+        process: label stamped on every span (``client``, ``server``,
+            ``coord``, ``p000``, ...) so a stitched trace names where
+            each stage ran.
+    """
+
+    __slots__ = ("enabled", "tracing", "metrics", "tracer")
+
+    def __init__(
+        self,
+        *,
+        tracing: bool = True,
+        capacity: int = 4096,
+        process: str = "engine",
+    ):
+        self.enabled = True
+        self.tracing = tracing
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            capacity=capacity,
+            process=process,
+            record=tracing,
+            on_finish=self.metrics.observe,
+        )
+
+    # -- instrumentation entry points (sites guard on ``obs.enabled``) --------
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """Open a span under the current parent; it starts now, ends at
+        ``finish()``/``with``-exit, and feeds the ``name`` histogram."""
+        return self.tracer.start(name, tags or None)
+
+    def observe(self, name: str, us: float) -> None:
+        self.metrics.observe(name, us)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.inc(name, n)
+
+    # -- surfacing -------------------------------------------------------------
+
+    def stats_section(self) -> dict[str, Any]:
+        """The ``"obs"`` section registered through ``add_stats_section``."""
+        snap = self.metrics.snapshot()
+        snap["enabled"] = True
+        snap["tracing"] = self.tracing
+        snap["spans"] = self.tracer.stats()
+        return snap
+
+    def export_jsonl(self, path: str, extra_spans: Optional[list] = None) -> int:
+        """Write the buffered spans (plus any ``extra_spans``, e.g. spans
+        fetched from partition workers) as tracetool-renderable JSONL."""
+        spans = self.tracer.spans()
+        if extra_spans:
+            spans = spans + list(extra_spans)
+        return write_jsonl(path, spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Observability(process={self.tracer.process!r}, "
+            f"tracing={self.tracing})"
+        )
+
+
+class _Disabled:
+    """The shared do-nothing observability (the no-op fast path).
+
+    Instrumentation sites read ``obs.enabled`` and branch away; the few
+    sites that unconditionally enter a span context get the stateless
+    :data:`~repro.obs.tracing.NOOP_SPAN`.  Kept deliberately free of any
+    per-call allocation.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    tracing = False
+    metrics = None
+    tracer = None
+
+    def span(self, name: str, **tags: Any):
+        return NOOP_SPAN
+
+    def observe(self, name: str, us: float) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def stats_section(self) -> dict[str, Any]:
+        return {"enabled": False}
+
+    def export_jsonl(self, path: str, extra_spans: Optional[list] = None) -> int:
+        return write_jsonl(path, list(extra_spans or []))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Observability(DISABLED)"
+
+
+#: the one disabled instance every un-instrumented component shares
+DISABLED = _Disabled()
+
+
+def observability(
+    spec: Union[None, str, Observability], *, process: str = "engine"
+) -> Union[Observability, _Disabled]:
+    """Normalise an ``obs=`` constructor argument.
+
+    Accepts an :class:`Observability` (used as-is), ``None``/``"off"``
+    (→ :data:`DISABLED`), ``"metrics"`` (metrics-only), or ``"full"``
+    (tracing).  The string forms are what crosses the fork to partition
+    workers, which build their own instance labelled ``process``.
+    """
+    if spec is None or spec is DISABLED:
+        return DISABLED
+    if isinstance(spec, Observability):
+        return spec
+    if spec == "off":
+        return DISABLED
+    if spec == "metrics":
+        return Observability(tracing=False, process=process)
+    if spec == "full":
+        return Observability(tracing=True, process=process)
+    raise ValueError(
+        f"obs must be an Observability, None, 'off', 'metrics', or 'full' "
+        f"(got {spec!r})"
+    )

@@ -73,10 +73,29 @@ from ..common.errors import (
     PartitionError,
     SchemaError,
 )
+from ..common.framing import TRACE_KEY
+from ..obs import MetricsRegistry, observability
+from ..obs.tracing import NOOP_SPAN
 from ..sql.executor import ResultSet
 from ..storage.partitioning import PartitionMap
 from .rpc import Channel, decode_value, raise_reply_error
 from .worker import InlineWorker, PartitionInfo, worker_main
+
+#: control-plane ops whose RPCs are not worth a span (and whose traces
+#: would pollute the ring the ``obs_spans`` op itself drains)
+_UNTRACED_RPC = frozenset(
+    {"stats", "schema", "obs_spans", "ping", "shutdown", "inject_fault",
+     "snapshot", "close"}
+)
+
+
+def _safe_section(thunk) -> Any:
+    """Same degrade-to-``{"error": ...}`` contract as the engine's
+    registered stats sections (see ``Database.add_stats_section``)."""
+    try:
+        return thunk()
+    except Exception as exc:  # noqa: BLE001 - stats must never raise
+        return {"error": f"{type(exc).__name__}: {exc}"}
 
 
 class _ProcessHandle:
@@ -187,6 +206,14 @@ class PartitionedDatabase:
         group_commit: per-worker command-log group-commit size.
         max_inflight: pipelining bound — unanswered requests allowed per
             worker before ingest blocks collecting replies.
+        obs: observability spec (``None``/``"off"``/``"metrics"``/
+            ``"full"`` or an :class:`~repro.obs.Observability` for the
+            coordinator side).  Workers get their own registry/tracer
+            (labelled ``p000``, ``p001``, ...) at the same level; the
+            coordinator's ``stats()["obs"]`` section merges all of them,
+            and with tracing on, RPC trace context rides each request so
+            worker spans stitch into the coordinator's traces
+            (:meth:`trace_spans` collects the whole set).
     """
 
     def __init__(
@@ -201,6 +228,7 @@ class PartitionedDatabase:
         recovery: str = "strong",
         group_commit: int = 8,
         max_inflight: int = 32,
+        obs=None,
     ):
         if workers not in ("process", "inline"):
             raise ValueError(f"workers must be 'process' or 'inline', not {workers!r}")
@@ -216,10 +244,17 @@ class PartitionedDatabase:
         #: extra :meth:`stats` sections contributed by attached subsystems
         #: (same contract as ``Database.add_stats_section``)
         self._stats_sections: dict[str, Any] = {}
+        self.obs = observability(obs, process="coord")
+        self._stats_sections["obs"] = self._obs_section
         self._next_xid = 1
         self._closed = False
         handle_cls = _InlineHandle if workers == "inline" else _ProcessHandle
         root = Path(recovery_dir) if recovery_dir is not None else None
+        # the obs level crosses the fork as a string; each worker builds
+        # its own registry/tracer labelled with its partition name
+        worker_obs = (
+            "full" if self.obs.tracing else "metrics" if self.obs.enabled else None
+        )
         self._handles: list[Any] = []
         self._pending: list[deque] = []
         try:
@@ -229,6 +264,7 @@ class PartitionedDatabase:
                     "recovery_dir": str(root / part.name) if root is not None else None,
                     "recovery": recovery,
                     "group_commit": group_commit,
+                    "obs": worker_obs,
                 }
                 self._handles.append(handle_cls(deploy, part, options))
                 self._pending.append(deque())
@@ -247,7 +283,18 @@ class PartitionedDatabase:
         return {name.lower(): meta for name, meta in raw.items()}
 
     def _post(self, pid: int, request: dict[str, Any], *, collect: bool = False) -> dict:
-        tag = {"collect": collect, "value": None, "done": False}
+        tag = {"collect": collect, "value": None, "done": False, "span": None}
+        obs = self.obs
+        if obs.enabled:
+            op = request.get("op")
+            if op not in _UNTRACED_RPC:
+                # detached: pipelined RPCs finish out of creation order
+                span = obs.tracer.start(
+                    f"rpc.{op}", {"partition": pid}, detached=True
+                )
+                tag["span"] = span
+                if obs.tracing:
+                    request[TRACE_KEY] = span.context()
         self._handles[pid].send(request)
         self._pending[pid].append(tag)
         return tag
@@ -259,6 +306,9 @@ class PartitionedDatabase:
         reply = self._handles[pid].recv()
         tag = self._pending[pid].popleft()
         tag["done"] = True
+        span = tag["span"]
+        if span is not None:
+            span.finish(ok=bool(reply.get("ok")))
         if not reply.get("ok"):
             raise_reply_error(reply, pid)
         if tag["collect"]:
@@ -326,24 +376,36 @@ class PartitionedDatabase:
                 "each partition runs its own batch-id sequence"
             )
         rows = list(rows)
-        buckets = self._split_batch(stream, rows)
-        self.routing["ingest_batches"] += 1
-        self.routing["ingest_rows"] += len(rows)
-        tags = []
-        for pid, sub in buckets:
-            self.routing["ingest_sub_batches"] += 1
-            while len(self._pending[pid]) >= self._max_inflight:
-                self._pump(pid)
-            tags.append(
-                (pid, self._post(pid, {"op": "ingest", "stream": stream, "rows": sub,
-                                       "batch_id": batch_id}, collect=wait))
-            )
-        if not wait:
-            return None
-        for pid, tag in tags:
-            while not tag["done"]:
-                self._pump(pid)
-        return {pid: tag["value"] for pid, tag in tags}
+        obs = self.obs
+        with (
+            obs.span("coord.ingest", stream=stream, rows=len(rows))
+            if obs.enabled
+            else NOOP_SPAN
+        ):
+            with (
+                obs.span("ingest.split", stream=stream)
+                if obs.enabled
+                else NOOP_SPAN
+            ):
+                buckets = self._split_batch(stream, rows)
+            self.routing["ingest_batches"] += 1
+            self.routing["ingest_rows"] += len(rows)
+            tags = []
+            for pid, sub in buckets:
+                self.routing["ingest_sub_batches"] += 1
+                while len(self._pending[pid]) >= self._max_inflight:
+                    self._pump(pid)
+                tags.append(
+                    (pid, self._post(pid, {"op": "ingest", "stream": stream,
+                                           "rows": sub, "batch_id": batch_id},
+                                     collect=wait))
+                )
+            if not wait:
+                return None
+            for pid, tag in tags:
+                while not tag["done"]:
+                    self._pump(pid)
+            return {pid: tag["value"] for pid, tag in tags}
 
     # -- routed statements and procedure calls -------------------------------
 
@@ -529,7 +591,9 @@ class PartitionedDatabase:
     def add_stats_section(self, name: str, thunk) -> None:
         """Attach an extra section to :meth:`stats` — same contract as
         ``Database.add_stats_section`` (the network server registers its
-        ``"server"`` counters here when fronting a partitioned engine)."""
+        ``"server"`` counters here when fronting a partitioned engine).
+        Re-registering replaces; a registered section shadows a built-in
+        key; a raising thunk degrades to ``{"error": ...}``."""
         self._stats_sections[name] = thunk
 
     def remove_stats_section(self, name: str) -> None:
@@ -537,35 +601,114 @@ class PartitionedDatabase:
         absent)."""
         self._stats_sections.pop(name, None)
 
-    def stats(self) -> dict[str, Any]:
-        """Aggregated counters: routing/protocol tallies, per-partition
-        engine stats, cross-partition sums (transactions, table row
-        counts), plus one key per attached :meth:`add_stats_section`
-        section."""
+    def _worker_stats(self, section: Optional[str] = None) -> list:
+        """Per-partition engine stats (whole snapshot or one section)."""
         self.barrier()
-        per = [
-            self._request(pid, {"op": "stats"}) for pid in range(self.num_partitions)
+        request: dict[str, Any] = {"op": "stats"}
+        if section is not None:
+            request["section"] = section
+        return [
+            self._request(pid, dict(request))
+            for pid in range(self.num_partitions)
         ]
+
+    @staticmethod
+    def _agg_transactions(per: list) -> dict[str, int]:
         txns: Counter[str] = Counter()
-        table_rows: Counter[str] = Counter()
-        for s in per:
-            for key, value in s["transactions"].items():
+        for section in per:
+            for key, value in section.items():
                 if not isinstance(value, bool):
                     txns[key] += value
-            for t, meta in s["tables"].items():
+        return dict(txns)
+
+    @staticmethod
+    def _agg_table_rows(per: list) -> dict[str, int]:
+        table_rows: Counter[str] = Counter()
+        for tables in per:
+            for t, meta in tables.items():
                 table_rows[t] += meta["rows"]
+        return dict(table_rows)
+
+    def _builtin_stats_sections(self) -> dict[str, Any]:
+        """Name → thunk for a selective ``stats(section=...)`` — the
+        cross-worker sections fetch only the matching per-worker section."""
+        return {
+            "num_partitions": lambda: self.num_partitions,
+            "mode": lambda: self.partition_map.mode,
+            "workers": lambda: self.workers,
+            "routing": lambda: dict(self.routing),
+            "transactions": lambda: self._agg_transactions(
+                self._worker_stats("transactions")
+            ),
+            "table_rows": lambda: self._agg_table_rows(self._worker_stats("tables")),
+            "partitions": self._worker_stats,
+        }
+
+    def stats(self, section: Optional[str] = None) -> Any:
+        """Aggregated counters: routing/protocol tallies, per-partition
+        engine stats, cross-partition sums (transactions, table row
+        counts), a merged ``obs`` section (coordinator + every worker,
+        histograms bucket-merged), plus one key per attached
+        :meth:`add_stats_section` section.  ``section=`` fetches one
+        section, computing (and fetching from workers) only what it
+        needs; an unknown name raises :class:`KeyError`."""
+        if section is not None:
+            thunk = self._stats_sections.get(section)
+            if thunk is not None:
+                return _safe_section(thunk)
+            builtin = self._builtin_stats_sections().get(section)
+            if builtin is not None:
+                return builtin()
+            known = sorted(
+                set(self._builtin_stats_sections()) | set(self._stats_sections)
+            )
+            raise KeyError(
+                f"unknown stats section {section!r} (have: {', '.join(known)})"
+            )
+        per = self._worker_stats()
         snapshot = {
             "num_partitions": self.num_partitions,
             "mode": self.partition_map.mode,
             "workers": self.workers,
             "routing": dict(self.routing),
-            "transactions": dict(txns),
-            "table_rows": dict(table_rows),
+            "transactions": self._agg_transactions([s["transactions"] for s in per]),
+            "table_rows": self._agg_table_rows([s["tables"] for s in per]),
             "partitions": per,
         }
         for name, thunk in self._stats_sections.items():
-            snapshot[name] = thunk()
+            snapshot[name] = _safe_section(thunk)
         return snapshot
+
+    # -- observability --------------------------------------------------------
+
+    def _obs_section(self) -> dict[str, Any]:
+        """The merged ``"obs"`` stats section: the coordinator's registry
+        plus every worker's, combined with
+        :meth:`~repro.obs.MetricsRegistry.merge_snapshots` so N partition
+        histograms read as one logical histogram."""
+        if not self.obs.enabled:
+            return {"enabled": False}
+        snaps = [self.obs.metrics.snapshot()]
+        snaps.extend(
+            w for w in self._worker_stats("obs") if w and w.get("enabled")
+        )
+        merged = MetricsRegistry.merge_snapshots(snaps)
+        merged["enabled"] = True
+        merged["tracing"] = self.obs.tracing
+        merged["spans"] = self.obs.tracer.stats()
+        return merged
+
+    def trace_spans(self) -> list[dict[str, Any]]:
+        """Drain every buffered span — the coordinator's ring plus each
+        worker's (via the ``obs_spans`` RPC) — as one list ready for
+        :func:`repro.obs.write_jsonl`.  Empty unless tracing is on."""
+        if not self.obs.tracing:
+            return []
+        spans = self.obs.tracer.drain()
+        self.barrier()
+        for pid in range(self.num_partitions):
+            spans.extend(self._request(pid, {"op": "obs_spans"}) or [])
+        return spans
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -32,10 +32,19 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..common.errors import PartitionError
+from ..common.framing import TRACE_KEY
 from ..common.serde import decode_record, encode_record
 from ..engine.database import Database
+from ..obs import observability
 from ..storage.partitioning import PartitionMap
 from .rpc import Channel, encode_value, error_reply, value_reply
+
+#: ops that never get a ``worker.<op>`` span (control plane / the span
+#: drain itself — spanning ``obs_spans`` would refill what it empties)
+_UNTRACED_OPS = frozenset(
+    {"stats", "schema", "obs_spans", "ping", "shutdown", "inject_fault",
+     "snapshot", "close"}
+)
 
 
 @dataclass(frozen=True)
@@ -72,6 +81,9 @@ def _build_database(deploy, part: PartitionInfo, options: dict[str, Any]) -> Dat
         recovery=options.get("recovery", "strong"),
         group_commit=options.get("group_commit", 8),
         bootstrap=bootstrap,
+        # the coordinator ships the obs level as a string; spans this
+        # worker records are labelled with its partition name
+        obs=observability(options.get("obs"), process=part.name),
     )
 
 
@@ -86,6 +98,7 @@ class WorkerServer:
 
     def handle(self, request: dict[str, Any]) -> Any:
         op = str(request.get("op"))
+        ctx = request.pop(TRACE_KEY, None)
         fault = self._armed_fault
         if fault is not None and fault["op"] == op:
             self._armed_fault = None
@@ -93,7 +106,14 @@ class WorkerServer:
         fn = getattr(self, f"_op_{op}", None)
         if fn is None:
             raise PartitionError(f"unknown worker op {op!r}")
-        return fn(request)
+        obs = self.db.obs
+        if not obs.enabled or op in _UNTRACED_OPS:
+            return fn(request)
+        # adopt the coordinator's rpc.<op> span as parent, so this
+        # worker's spans stitch into the coordinator-side trace
+        with obs.tracer.activate(ctx):
+            with obs.span(f"worker.{op}"):
+                return fn(request)
 
     # -- plumbing ------------------------------------------------------------
 
@@ -139,10 +159,22 @@ class WorkerServer:
     def _op_drain(self, request) -> int:
         return self.db.drain()
 
-    def _op_stats(self, request) -> dict[str, Any]:
+    def _op_stats(self, request) -> Any:
+        section = request.get("section")
+        if section is not None:
+            return self.db.stats(section=section)
         stats = self.db.stats()
         stats["partition"] = self.part.partition_id
         return stats
+
+    def _op_obs_spans(self, request) -> list:
+        """Take this worker's buffered trace spans (the coordinator's
+        :meth:`~repro.partition.coordinator.PartitionedDatabase.trace_spans`
+        collects them)."""
+        obs = self.db.obs
+        if not obs.tracing:
+            return []
+        return obs.tracer.drain()
 
     def _op_snapshot(self, request) -> dict[str, Any]:
         return self.db.catalog.snapshot()

@@ -30,12 +30,15 @@ builds on them):
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Any, Optional
 
 from ..common.clock import SimClock
 from ..common.errors import RecoveryError
 from ..common.serde import decode_record, encode_record
+from ..obs import DISABLED
+from ..obs.tracing import NOOP_SPAN
 
 #: Sentinel op of the one header record that starts every log file.
 HEADER_OP = "_header"
@@ -148,6 +151,12 @@ class CommandLog:
         self.appended = 0
         self.flushes = 0
         self._closed = False
+        #: observability handle; the recovery manager points this at its
+        #: database's ``obs`` after opening the writer
+        self.obs = DISABLED
+        #: perf-counter stamps of buffered appends, for the group-commit
+        #: buffer-wait histogram (only populated while obs is enabled)
+        self._append_ns: list[int] = []
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         self._file = open(self.path, "a", encoding="utf-8")
         if fresh:
@@ -188,20 +197,41 @@ class CommandLog:
         self._buffer.append(line)
         self._pending_bytes += len(line)
         self.appended += 1
+        if self.obs.enabled:
+            self._append_ns.append(time.perf_counter_ns())
         self._clock.charge_cost("log_group_commit")
         if len(self._buffer) >= self.group_size or self._pending_bytes >= self.group_bytes:
             self.flush()
         return self.lsn
 
     def flush(self) -> None:
-        """Write and fsync every buffered record (one batched fsync)."""
+        """Write and fsync every buffered record (one batched fsync).
+
+        When observability is on, the flush is a ``log.fsync`` span and
+        each record's buffered dwell time (append → this flush) feeds the
+        ``log.buffer_wait`` histogram — the group-commit latency the
+        paper trades against throughput.
+        """
         if not self._buffer:
             return
-        self._file.write("".join(self._buffer))
-        self._flushed_records += len(self._buffer)
-        self._buffer.clear()
-        self._pending_bytes = 0
-        self._fsync()
+        obs = self.obs
+        records = len(self._buffer)
+        pending = self._pending_bytes
+        with (
+            obs.span("log.fsync", records=records, bytes=pending)
+            if obs.enabled
+            else NOOP_SPAN
+        ):
+            self._file.write("".join(self._buffer))
+            self._flushed_records += records
+            self._buffer.clear()
+            self._pending_bytes = 0
+            self._fsync()
+        if self._append_ns:
+            now_ns = time.perf_counter_ns()
+            for t0 in self._append_ns:
+                obs.observe("log.buffer_wait", (now_ns - t0) / 1000.0)
+            self._append_ns.clear()
 
     def _fsync(self) -> None:
         self._file.flush()

@@ -30,17 +30,23 @@ from __future__ import annotations
 import asyncio
 import socket
 import time
+from collections import deque
 from typing import Any, Optional, Sequence
 
 from ..common.errors import ProtocolError, ServerError, error_class
 from ..common.framing import (
     MAX_FRAME_BYTES,
+    TRACE_KEY,
     encode_frame,
     read_frame_async,
     recv_frame,
     send_frame,
 )
+from ..obs import observability
 from .protocol import PROTOCOL_VERSION, decode_value
+
+#: connection-level ops that never get a ``client.<op>`` span
+_UNTRACED_OPS = frozenset({"hello", "bye", "ping", "stats"})
 
 
 def _raise_reply(reply: dict[str, Any]) -> None:
@@ -77,8 +83,15 @@ class ReproClient:
         *,
         connect_timeout: float = 5.0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        obs=None,
     ):
         self._limit = max_frame_bytes
+        #: client-side observability (``None``/``"off"``/``"metrics"``/
+        #: ``"full"`` or an Observability).  With tracing on, each posted
+        #: request opens a ``client.<op>`` span whose context rides the
+        #: frame — the server's work stitches under it.
+        self.obs = observability(obs, process="client")
+        self._spans: deque = deque()
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         self._sock.settimeout(None)
         self._outstanding = 0
@@ -98,7 +111,18 @@ class ReproClient:
     def post(self, record: dict[str, Any]) -> None:
         """Send one request without waiting; replies arrive in FIFO order
         via :meth:`collect`."""
+        obs = self.obs
+        span = None
+        if obs.enabled and record.get("op") not in _UNTRACED_OPS:
+            # detached: pipelined posts complete in FIFO, not span, order
+            span = obs.tracer.start(
+                f"client.{record.get('op')}", None, detached=True
+            )
+            if obs.tracing:
+                record = dict(record)  # never mutate the caller's dict
+                record[TRACE_KEY] = span.context()
         send_frame(self._sock, record, limit=self._limit)
+        self._spans.append(span)
         self._outstanding += 1
 
     def collect(self) -> Any:
@@ -107,7 +131,16 @@ class ReproClient:
             raise ProtocolError("collect() with no outstanding post()")
         reply, _ = recv_frame(self._sock, limit=self._limit)
         self._outstanding -= 1
+        span = self._spans.popleft() if self._spans else None
+        if span is not None:
+            span.finish(ok=bool(reply.get("ok")))
         return _decode_reply(reply)
+
+    def trace_spans(self) -> list[dict[str, Any]]:
+        """Drain this client's buffered spans (empty unless tracing)."""
+        if not self.obs.tracing:
+            return []
+        return self.obs.tracer.drain()
 
     @property
     def outstanding(self) -> int:
@@ -190,8 +223,10 @@ class ReproClient:
     def flush_log(self) -> None:
         return self._request({"op": "flush_log"})
 
-    def stats(self) -> dict[str, Any]:
-        return self._request({"op": "stats"})
+    def stats(self, section: Optional[str] = None) -> Any:
+        """The server engine's stats snapshot — or one section of it
+        (``section=`` computes and ships only that section)."""
+        return self._request({"op": "stats", "section": section})
 
     def ping(self) -> str:
         return self._request({"op": "ping"})
@@ -230,11 +265,14 @@ class AsyncReproClient:
         writer: asyncio.StreamWriter,
         *,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        obs=None,
     ):
         self._reader = reader
         self._writer = writer
         self._limit = max_frame_bytes
         self._outstanding = 0
+        self.obs = observability(obs, process="client")
+        self._spans: deque = deque()
         self.server_info: dict[str, Any] = {}
         self.partitioned = False
 
@@ -245,9 +283,10 @@ class AsyncReproClient:
         port: int = 0,
         *,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        obs=None,
     ) -> "AsyncReproClient":
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, max_frame_bytes=max_frame_bytes)
+        client = cls(reader, writer, max_frame_bytes=max_frame_bytes, obs=obs)
         client.server_info = await client.request(
             {"op": "hello", "protocol": PROTOCOL_VERSION}
         )
@@ -255,8 +294,18 @@ class AsyncReproClient:
         return client
 
     async def post(self, record: dict[str, Any]) -> None:
+        obs = self.obs
+        span = None
+        if obs.enabled and record.get("op") not in _UNTRACED_OPS:
+            span = obs.tracer.start(
+                f"client.{record.get('op')}", None, detached=True
+            )
+            if obs.tracing:
+                record = dict(record)
+                record[TRACE_KEY] = span.context()
         self._writer.write(encode_frame(record, limit=self._limit))
         await self._writer.drain()
+        self._spans.append(span)
         self._outstanding += 1
 
     async def collect(self) -> Any:
@@ -264,7 +313,16 @@ class AsyncReproClient:
             raise ProtocolError("collect() with no outstanding post()")
         reply, _ = await read_frame_async(self._reader, limit=self._limit)
         self._outstanding -= 1
+        span = self._spans.popleft() if self._spans else None
+        if span is not None:
+            span.finish(ok=bool(reply.get("ok")))
         return _decode_reply(reply)
+
+    def trace_spans(self) -> list[dict[str, Any]]:
+        """Drain this client's buffered spans (empty unless tracing)."""
+        if not self.obs.tracing:
+            return []
+        return self.obs.tracer.drain()
 
     async def request(self, record: dict[str, Any]) -> Any:
         if self._outstanding:
@@ -300,8 +358,8 @@ class AsyncReproClient:
     async def drain(self) -> int:
         return await self.request({"op": "drain"})
 
-    async def stats(self) -> dict[str, Any]:
-        return await self.request({"op": "stats"})
+    async def stats(self, section: Optional[str] = None) -> Any:
+        return await self.request({"op": "stats", "section": section})
 
     async def ping(self) -> str:
         return await self.request({"op": "ping"})

@@ -125,7 +125,7 @@ def perform(db: Any, record: dict[str, Any], partitioned: bool) -> Any:
     if op == "flush_log":
         return db.flush_log()
     if op == "stats":
-        return db.stats()
+        return db.stats(section=record.get("section"))
     raise ProtocolError(f"unknown operation {op!r}")  # pragma: no cover - server gates
 
 

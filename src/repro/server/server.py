@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional
@@ -52,7 +53,7 @@ from ..common.errors import (
     ProtocolError,
     ServerError,
 )
-from ..common.framing import MAX_FRAME_BYTES, encode_frame, read_frame_async
+from ..common.framing import MAX_FRAME_BYTES, TRACE_KEY, encode_frame, read_frame_async
 from .protocol import (
     CONNECTION_OPS,
     EXEMPT_OPS,
@@ -387,9 +388,28 @@ class ReproServer:
         self._inflight_total -= 1
 
     async def _run_on_engine(self, record: dict[str, Any]) -> dict[str, Any]:
+        # stamped at submission so the engine thread can report how long
+        # the request sat behind earlier work in the one-worker executor
+        queued_ns = time.perf_counter_ns()
         return await self._loop.run_in_executor(
-            self._engine, respond, self.db, record, self.partitioned
+            self._engine, self._respond, record, queued_ns
         )
+
+    def _respond(self, record: dict[str, Any], queued_ns: int) -> dict[str, Any]:
+        """Engine-thread entry: measure executor queue wait, adopt the
+        client's trace context (if any), span the request, execute."""
+        ctx = record.pop(TRACE_KEY, None)
+        obs = self.db.obs
+        op = record.get("op")
+        if not obs.enabled or op in EXEMPT_OPS:
+            # stats polls stay out of the span ring (and the disabled
+            # path pays nothing beyond this branch)
+            return respond(self.db, record, self.partitioned)
+        wait_us = (time.perf_counter_ns() - queued_ns) / 1000.0
+        obs.observe("server.queue_wait", wait_us)
+        with obs.tracer.activate(ctx):
+            with obs.span("server.request", op=op, queue_wait_us=round(wait_us, 1)):
+                return respond(self.db, record, self.partitioned)
 
     async def _write_replies(self, conn: _Conn) -> None:
         """Drain the reply queue in FIFO order.  Runs until the ``None``

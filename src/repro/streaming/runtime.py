@@ -43,6 +43,7 @@ from ..common.errors import (
     WindowVisibilityError,
     WorkflowError,
 )
+from ..obs.tracing import NOOP_SPAN
 from ..storage.schema import TableKind, TableSchema
 from ..storage.table import Table
 from .stream import BATCH_COLUMN, Batch, Stream, stream_schema
@@ -365,14 +366,21 @@ class StreamingRuntime:
             # that eventually applies the queued batch.
             stream.pending[batch_id] = [self._coerce_declared(stream, r) for r in rows]
             return applied
-        self._apply_batch(stream, batch_id, rows)
-        applied.append(batch_id)
-        while stream.expected_batch in stream.pending:
-            nxt = stream.expected_batch
-            self._apply_batch(stream, nxt, stream.pending[nxt])
-            del stream.pending[nxt]
-            applied.append(nxt)
-        self.drain()
+        obs = db.obs
+        with (
+            obs.span("ingest", stream=stream.name, batch_id=batch_id)
+            if obs.enabled
+            else NOOP_SPAN
+        ) as span:
+            self._apply_batch(stream, batch_id, rows)
+            applied.append(batch_id)
+            while stream.expected_batch in stream.pending:
+                nxt = stream.expected_batch
+                self._apply_batch(stream, nxt, stream.pending[nxt])
+                del stream.pending[nxt]
+                applied.append(nxt)
+            self.drain()
+            span.set(applied=len(applied))
         return applied
 
     def _coerce_declared(self, stream: Stream, raw) -> tuple:
@@ -516,12 +524,23 @@ class StreamingRuntime:
                 f"stream {stream.name!r} (cyclic trigger graph?)"
             )
         db = self._db
+        obs = db.obs
         declared_rows = _strip(ext_rows, stream.declared.arity())
         self._ee_depth += 1
         try:
             for trigger in triggers:
                 db.clock.charge_cost("ee_trigger")
-                trigger.fn(TriggerContext(db, txn, trigger, batch_id), declared_rows)
+                with (
+                    obs.span(
+                        "trigger.ee",
+                        trigger=trigger.name,
+                        stream=stream.name,
+                        batch_id=batch_id,
+                    )
+                    if obs.enabled
+                    else NOOP_SPAN
+                ):
+                    trigger.fn(TriggerContext(db, txn, trigger, batch_id), declared_rows)
         finally:
             self._ee_depth -= 1
 
@@ -645,8 +664,19 @@ class StreamingRuntime:
 
     def _deliver(self, delivery: _Delivery) -> None:
         db = self._db
+        obs = db.obs
         if delivery.kind == "pe_fn":
-            delivery.fn(db, delivery.batch)
+            with (
+                obs.span(
+                    "trigger.pe",
+                    trigger=delivery.target,
+                    stream=delivery.batch.stream,
+                    batch_id=delivery.batch.batch_id,
+                )
+                if obs.enabled
+                else NOOP_SPAN
+            ):
+                delivery.fn(db, delivery.batch)
             return
         key = (delivery.batch.stream, delivery.target)
         last = self.delivered.get(key, 0)
@@ -662,17 +692,28 @@ class StreamingRuntime:
         previous = self._delivering
         self._delivering = delivery
         try:
-            db._call_procedure(
-                procedure,
-                (delivery.batch,),
-                before=lambda ctx: self._advance_owned_windows(ctx.txn, delivery),
-                log_record={
-                    "op": "delivery",
-                    "stream": delivery.batch.stream,
-                    "batch_id": delivery.batch.batch_id,
-                    "proc": delivery.target,
-                },
-            )
+            with (
+                obs.span(
+                    "delivery",
+                    stream=delivery.batch.stream,
+                    batch_id=delivery.batch.batch_id,
+                    proc=delivery.target,
+                )
+                if obs.enabled
+                else NOOP_SPAN
+            ):
+                db._call_procedure(
+                    procedure,
+                    (delivery.batch,),
+                    before=lambda ctx: self._advance_owned_windows(ctx.txn, delivery),
+                    log_record={
+                        "op": "delivery",
+                        "stream": delivery.batch.stream,
+                        "batch_id": delivery.batch.batch_id,
+                        "proc": delivery.target,
+                    },
+                    span=False,  # the delivery span above times this call
+                )
         finally:
             self._delivering = previous
         self.delivered[key] = delivery.batch.batch_id
@@ -829,10 +870,13 @@ class StreamingRuntime:
         return {
             "streams": {
                 s.name: {
-                    "last_batch": s.last_committed,
+                    # renamed from "last_batch"/"reclaimed_rows" (PR 8): stats
+                    # keys mirror the attribute names and the scheduler's
+                    # "rows_reclaimed" spelling — one canonical scheme
+                    "last_committed": s.last_committed,
                     "pending_batches": sorted(s.pending),
                     "rows": s.table.row_count(),
-                    "reclaimed_rows": s.reclaimed_rows,
+                    "rows_reclaimed": s.reclaimed_rows,
                 }
                 for s in self.streams.values()
             },

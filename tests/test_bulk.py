@@ -357,7 +357,7 @@ def test_drain_reclaims_fully_consumed_batches():
     st = db.stats()["streaming"]
     # only the newest consumed batch is resident; the rest were reclaimed
     assert st["streams"]["s"]["rows"] == 2
-    assert st["streams"]["s"]["reclaimed_rows"] == 18
+    assert st["streams"]["s"]["rows_reclaimed"] == 18
     assert st["scheduler"]["rows_reclaimed"] == 18
     # the logical stream state is untouched by GC
     assert db.streaming.streams["s"].last_committed == 10
@@ -383,7 +383,7 @@ def test_unconsumed_batches_are_never_reclaimed():
         db.ingest("s", [(1,)])
     # delivery failed: the batch is not consumed, so nothing is reclaimed
     assert db.stats()["streaming"]["streams"]["s"]["rows"] == 1
-    assert db.stats()["streaming"]["streams"]["s"]["reclaimed_rows"] == 0
+    assert db.stats()["streaming"]["streams"]["s"]["rows_reclaimed"] == 0
     db.drain()  # retry succeeds; batch 1 is now the horizon and is retained
     assert db.stats()["streaming"]["streams"]["s"]["rows"] == 1
 
@@ -394,4 +394,4 @@ def test_streams_without_subscribers_keep_all_rows():
         db.ingest("s", [(b,)])
     db.drain()
     assert db.stats()["streaming"]["streams"]["s"]["rows"] == 5
-    assert db.stats()["streaming"]["streams"]["s"]["reclaimed_rows"] == 0
+    assert db.stats()["streaming"]["streams"]["s"]["rows_reclaimed"] == 0

@@ -248,7 +248,7 @@ class TestWireFaults:
                 "rows": [[1, 5], [2, 7]], "batch_id": None})
         c._sock.close()  # vanish mid-request, reply undeliverable
         assert wait_until(
-            lambda: db.stats()["streaming"]["streams"]["feed"]["last_batch"] == 1
+            lambda: db.stats()["streaming"]["streams"]["feed"]["last_committed"] == 1
         )
         with client(server) as c2:
             c2.drain()
@@ -319,16 +319,25 @@ class TestTypedErrors:
             assert c.ping() == "pong"  # engine abort did not kill the server
 
     def test_foreign_error_class_falls_back_to_server_error(self, db, server):
-        # an exception class outside the wire registry (here a raw
-        # ZeroDivisionError escaping a stats section) still produces one
+        # an exception class outside the wire registry (here the KeyError
+        # an unknown stats section raises engine-side) still produces one
         # reply; the client re-raises it as the ServerError fallback
+        with client(server) as c:
+            with pytest.raises(ServerError, match="no_such_section"):
+                c.stats(section="no_such_section")
+            assert c.stats()["server"]["requests"]["stats"] == 2
+
+    def test_raising_stats_section_degrades_instead_of_erroring(self, db, server):
+        # a raising registered thunk no longer takes down the whole
+        # snapshot: its section degrades to {"error": ...} over the wire
         db.add_stats_section("boom", lambda: 1 // 0)
         try:
             with client(server) as c:
-                with pytest.raises(ServerError, match="division"):
-                    c.stats()
-                db.remove_stats_section("boom")
-                assert c.stats()["server"]["requests"]["stats"] == 2
+                snap = c.stats()
+                assert snap["boom"] == {
+                    "error": "ZeroDivisionError: integer division or modulo by zero"
+                }
+                assert snap["server"]["requests"]["stats"] == 1
         finally:
             db.remove_stats_section("boom")
 
@@ -446,7 +455,7 @@ class TestConcurrentClients:
         assert errors == []
         db.drain()
         feed = db.stats()["streaming"]["streams"]["feed"]
-        assert feed["last_batch"] == clients * batches_each  # gapless sequence
+        assert feed["last_committed"] == clients * batches_each  # gapless sequence
         assert feed["pending_batches"] == []  # nothing stuck out of order
         assert db.query("SELECT sum(total) FROM bal") == [
             {"sum": clients * batches_each * rows_each}

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Render trace-span JSONL files as per-batch latency trees.
+
+Input is the span format written by :func:`repro.obs.write_jsonl` — one
+JSON object per line with ``trace_id`` / ``span_id`` / ``parent_id`` /
+``name`` / ``process`` / ``start_us`` / ``duration_us`` / ``tags``.
+Spans from any number of processes (client, server/coordinator,
+partition workers) can share a file; they stitch by id.
+
+Usage::
+
+    python tools/tracetool.py TRACE.jsonl            # list traces
+    python tools/tracetool.py TRACE.jsonl --trace ID # render one tree
+    python tools/tracetool.py TRACE.jsonl --all      # render every tree
+
+A rendered tree shows, per stage, the process it ran in, its wall-clock
+duration, and its tags — the end-to-end per-batch latency breakdown::
+
+    trace 2c74-0508.1 (14 spans, 2296us)
+    └─ client.ingest                      client    2296us
+       └─ server.request                  coord     1458us  op=ingest
+          └─ coord.ingest                 coord     1440us  rows=8
+             ├─ ingest.split              coord      101us
+             ├─ rpc.ingest                coord     1300us  partition=0
+             │  └─ worker.ingest          p000       653us
+             │     └─ ingest              p000       629us  batch_id=1
+             │        └─ txn              p000       552us  outcome=commit
+             │           └─ log.fsync     p000       422us  records=1
+             ...
+
+Spans whose parent is absent from the file (e.g. the ring dropped it, or
+only one process's spans were exported) render as additional roots of
+their trace, so partial captures still display.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import read_jsonl  # noqa: E402
+
+
+def group_traces(spans: list[dict[str, Any]]) -> dict[str, list[dict[str, Any]]]:
+    """Spans keyed by ``trace_id``, in file order."""
+    traces: dict[str, list[dict[str, Any]]] = {}
+    for span in spans:
+        traces.setdefault(str(span.get("trace_id")), []).append(span)
+    return traces
+
+
+def _fmt_tags(tags: dict[str, Any]) -> str:
+    if not tags:
+        return ""
+    return "  " + " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+
+
+def _fmt_dur(duration_us: Any) -> str:
+    if duration_us is None:
+        return "?"
+    return f"{duration_us:,.0f}us"
+
+
+def render_trace(trace_id: str, spans: list[dict[str, Any]]) -> str:
+    """One trace's spans as an indented parent tree (a list of lines
+    joined) — children sorted by start time, orphans as extra roots."""
+    by_id = {s.get("span_id"): s for s in spans}
+    children: dict[Any, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def start_key(span: dict[str, Any]) -> Any:
+        return (span.get("start_us") or 0, str(span.get("span_id")))
+
+    total = sum(s.get("duration_us") or 0.0 for s in roots)
+    lines = [f"trace {trace_id} ({len(spans)} spans, {total:,.0f}us)"]
+
+    def walk(span: dict[str, Any], prefix: str, last: bool) -> None:
+        branch = "└─ " if last else "├─ "
+        label = f"{prefix}{branch}{span.get('name', '?')}"
+        pad = max(1, 42 - len(label))
+        lines.append(
+            f"{label}{' ' * pad}{span.get('process', '?'):<8}"
+            f"{_fmt_dur(span.get('duration_us')):>10}"
+            f"{_fmt_tags(span.get('tags') or {})}"
+        )
+        kids = sorted(children.get(span.get("span_id"), ()), key=start_key)
+        child_prefix = prefix + ("   " if last else "│  ")
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1)
+
+    for i, root in enumerate(sorted(roots, key=start_key)):
+        walk(root, "", i == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def list_traces(traces: dict[str, list[dict[str, Any]]]) -> str:
+    lines = [f"{len(traces)} trace(s)"]
+    for trace_id, spans in sorted(
+        traces.items(), key=lambda kv: min(s.get("start_us") or 0 for s in kv[1])
+    ):
+        names = {str(s.get("name")) for s in spans}
+        procs = sorted({str(s.get("process")) for s in spans})
+        dur = max(s.get("duration_us") or 0.0 for s in spans)
+        lines.append(
+            f"  {trace_id}: {len(spans)} spans across {', '.join(procs)} "
+            f"(longest stage {dur:,.0f}us; {len(names)} stage kinds)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="render repro trace-span JSONL as per-batch latency trees"
+    )
+    parser.add_argument("path", help="span JSONL file (repro.obs.write_jsonl format)")
+    parser.add_argument(
+        "--trace", help="render the tree of this trace id (default: list traces)"
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="render every trace's tree"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spans = read_jsonl(args.path)
+    except OSError as exc:
+        print(f"tracetool: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"tracetool: {args.path} contains no spans", file=sys.stderr)
+        return 1
+    traces = group_traces(spans)
+
+    if args.trace is not None:
+        selected = traces.get(args.trace)
+        if selected is None:
+            print(
+                f"tracetool: no trace {args.trace!r} "
+                f"(have: {', '.join(sorted(traces))})",
+                file=sys.stderr,
+            )
+            return 1
+        print(render_trace(args.trace, selected))
+        return 0
+    if args.all:
+        for i, (trace_id, selected) in enumerate(sorted(traces.items())):
+            if i:
+                print()
+            print(render_trace(trace_id, selected))
+        return 0
+    print(list_traces(traces))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
