@@ -64,7 +64,7 @@ from ..common.errors import (
 from ..obs import observability
 from ..recovery.manager import RecoveryManager
 from ..sql.executor import ExecutionContext, ResultSet
-from ..sql.planner import PreparedStatement, prepare
+from ..sql.planner import JOIN_STRATEGIES, PreparedStatement, prepare
 from ..storage.catalog import Catalog
 from ..storage.schema import TableKind, TableSchema
 from ..storage.table import Table
@@ -75,6 +75,7 @@ from ..streaming.window import Window
 from ..streaming.workflow import Workflow
 from .plan_cache import PlanCache
 from .procedure import ProcedureContext, ProcedureFn, StoredProcedure
+from .stats import StatsCatalog
 from .transaction import Transaction
 
 #: (counter name, CostModel attribute charged per occurrence)
@@ -98,6 +99,31 @@ def _safe_section(thunk) -> Any:
         return thunk()
     except Exception as exc:  # noqa: BLE001 - stats must never raise
         return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+def _copy_plan_info(info: Any) -> Any:
+    """Deep-copy a plan_info tree (dicts/lists/scalars only) so EXPLAIN
+    callers can annotate and mutate their copy without corrupting the
+    cached plan's tree."""
+    if isinstance(info, dict):
+        return {k: _copy_plan_info(v) for k, v in info.items()}
+    if isinstance(info, list):
+        return [_copy_plan_info(v) for v in info]
+    return info
+
+
+def _annotate_actual(info: Any, counts: dict[int, int]) -> None:
+    """Write each operator's actual emitted-row count (keyed by plan
+    ``op_id``) into its node of the EXPLAIN tree."""
+    if isinstance(info, dict):
+        op_id = info.get("op_id")
+        if op_id is not None:
+            info["actual_rows"] = counts.get(op_id, 0)
+        for value in info.values():
+            _annotate_actual(value, counts)
+    elif isinstance(info, list):
+        for value in info:
+            _annotate_actual(value, counts)
 
 
 class Database:
@@ -183,6 +209,18 @@ class Database:
         #: stale plans held across a schema change fail fast (see
         #: :meth:`execute_prepared`) instead of reading the wrong schema.
         self.schema_epoch = 0
+        #: column statistics feeding the cost-based planner; populated by
+        #: :meth:`analyze` / ``ANALYZE``, version-stamped into every plan
+        #: so a refresh invalidates cached plans (cache replan, never an
+        #: execution-time rejection — see :class:`PlanCache`).
+        self.table_stats = StatsCatalog()
+        #: forced join algorithm for differential testing (None = cost-based)
+        self._force_join: Optional[str] = None
+        #: per-plan tallies surfaced by the ``planner`` stats section
+        self._planner_stats: Counter[str] = Counter()
+        #: EXPLAIN's per-operator actual-row sink; threaded into the
+        #: ExecutionContext of statements run under :meth:`explain`
+        self._explain_counts: Optional[dict[int, int]] = None
         #: lifetime aggregate of per-execution counters
         self.counters: Counter[str] = Counter()
         #: counters of the most recent execution — for :meth:`executemany`,
@@ -209,6 +247,9 @@ class Database:
         # the metrics registry *backs* stats() through the same hook any
         # attached subsystem uses — one snapshot API, no parallel channel
         self._stats_sections["obs"] = lambda: self.obs.stats_section()
+        # the planner section rides the same subsystem hook: plan tallies,
+        # join-algorithm mix, and the statistics catalog behind them
+        self.add_stats_section("planner", self._planner_stats_section)
         #: durability sidecar (command log + checkpoints); None = memory-only
         self._recovery: Optional[RecoveryManager] = None
         if recovery_dir is not None:
@@ -266,6 +307,7 @@ class Database:
         self.catalog.table(name)  # raises NoSuchTableError before unregistering
         self.streaming.unregister_table(name)
         self.catalog.drop_table(name)
+        self.table_stats.drop(name)
         self._schema_changed()
 
     # -- streaming DDL (paper §3.2) -------------------------------------------
@@ -894,15 +936,137 @@ class Database:
             LexError | ParseError | PlanningError: the SQL is invalid
                 against the current schema.
         """
-        stmt = self.plan_cache.get(sql)
+        stats = self.table_stats
+        # analyzed tables whose row count drifted past the threshold are
+        # re-analyzed first; the version bump makes the cache lookup below
+        # miss for every plan costed under the old numbers
+        stats.maybe_auto_refresh(self.catalog)
+        stmt = self.plan_cache.get(sql, stats.version)
         if stmt is not None:
             self.clock.charge_cost("plan_cache_hit")
             return stmt
         self.clock.charge_cost("sql_plan")
-        stmt = prepare(sql, self.catalog)
+        span = self.obs.span("plan.compile", sql=sql[:120]) if self.obs.enabled else None
+        try:
+            stmt = prepare(
+                sql, self.catalog, stats=stats, force_join=self._force_join
+            )
+        finally:
+            if span is not None:
+                span.finish()
         stmt.epoch = self.schema_epoch
+        stmt.stats_version = stats.version
         self.plan_cache.put(sql, stmt)
+        self._tally_plan(stmt.plan_info)
         return stmt
+
+    _JOIN_OP_TALLY = {
+        "HashJoin": "join_hash",
+        "MergeJoin": "join_merge",
+        "IndexNestedLoopJoin": "join_inl",
+        "BlockNestedLoopJoin": "join_bnl",
+        "NestedLoopJoin": "join_nested",
+    }
+
+    def _tally_plan(self, info: dict[str, Any]) -> None:
+        self._planner_stats["plans_costed"] += 1
+        node = info
+        while node is not None:
+            for join in node.get("joins", ()):
+                key = self._JOIN_OP_TALLY.get(join.get("op"))
+                if key is not None:
+                    self._planner_stats[key] += 1
+            node = node.get("select")  # descend into INSERT ... SELECT
+
+    def _planner_stats_section(self) -> dict[str, Any]:
+        joins = {
+            key.removeprefix("join_"): self._planner_stats.get(key, 0)
+            for key in self._JOIN_OP_TALLY.values()
+        }
+        return {
+            "plans_costed": self._planner_stats.get("plans_costed", 0),
+            "joins": joins,
+            "force_join": self._force_join,
+            "stats": self.table_stats.stats_section(),
+        }
+
+    @property
+    def force_join(self) -> Optional[str]:
+        """Forced join algorithm (``"inl"``/``"hash"``/``"merge"``/``"bnl"``)
+        or None for cost-based selection.  Setting it clears the plan cache
+        so already-cached plans do not leak the previous strategy — this is
+        the differential-testing hook, not a tuning knob."""
+        return self._force_join
+
+    @force_join.setter
+    def force_join(self, value: Optional[str]) -> None:
+        if value is not None and value not in JOIN_STRATEGIES:
+            raise PlanningError(
+                f"unknown join strategy {value!r} "
+                f"(expected one of {', '.join(JOIN_STRATEGIES)})"
+            )
+        if value != self._force_join:
+            self._force_join = value
+            self.plan_cache.clear()
+
+    def analyze(self, table: Optional[str] = None) -> dict[str, int]:
+        """Collect column statistics (NDV, min/max, null counts) for one
+        table or — with no argument — every table; the SQL spelling is
+        ``ANALYZE [table]``.
+
+        Each analyzed table is scanned once (charged per row like a
+        sequential scan).  The statistics version bump invalidates every
+        cached plan, so subsequent statements are re-costed against the
+        fresh numbers.
+
+        Returns:
+            ``{table_name: analyzed_row_count}`` for the analyzed tables.
+
+        Raises:
+            NoSuchTableError: ``table`` names no existing table.
+        """
+        targets = (
+            [self.catalog.table(table)] if table is not None else list(self.catalog.tables())
+        )
+        out: dict[str, int] = {}
+        cost = self.clock.cost
+        for t in targets:
+            snap = self.table_stats.analyze(t)
+            out[t.name] = snap.analyzed_rows
+            if snap.analyzed_rows:
+                self.clock.charge(
+                    "rows_scanned",
+                    cost.sql_row_us * snap.analyzed_rows,
+                    count=snap.analyzed_rows,
+                )
+        return out
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> dict[str, Any]:
+        """The plan tree for ``sql`` with estimated — and, for SELECT,
+        **actual** — per-operator row counts.
+
+        SELECT statements are executed (with ``params``) so every operator
+        can report the rows it actually emitted next to the planner's
+        estimate; DML statements are planned but **not** executed (EXPLAIN
+        must never mutate), so their nodes carry estimates only.
+
+        Returns:
+            A JSON-safe dict: the statement's ``plan_info`` tree where
+            each operator node has ``op``, ``est_rows``, ``cost``, the
+            alternatives ``considered``, and (SELECT only) ``actual_rows``.
+        """
+        stmt = self.prepare(sql)
+        info = _copy_plan_info(stmt.plan_info)
+        if stmt.kind == "select":
+            prev = self._explain_counts
+            self._explain_counts = counts = {}
+            try:
+                result = self.execute_prepared(stmt, params)
+            finally:
+                self._explain_counts = prev
+            _annotate_actual(info, counts)
+            info["actual_rows"] = len(result)
+        return info
 
     # -- execution -------------------------------------------------------------
 
@@ -935,6 +1099,17 @@ class Database:
                 owning procedure.
             TransactionError: the enclosing transaction is no longer live.
         """
+        # ANALYZE is a utility statement, not a plannable one; intercept it
+        # before the plan cache (cheap guard: first letter then full check)
+        if sql.lstrip()[:1] in ("a", "A"):
+            head = sql.strip().rstrip(";").rstrip()
+            if head.lower() == "analyze" or (
+                head[:7].lower() == "analyze" and head[7:8].isspace()
+            ):
+                analyzed = self.analyze(head[7:].strip() or None)
+                return ResultSet(
+                    ("table_name", "analyzed_rows"), sorted(analyzed.items())
+                )
         return self.execute_prepared(self.prepare(sql), params)
 
     def execute_prepared(
@@ -1068,7 +1243,9 @@ class Database:
         (mirrors :meth:`_execute`: same liveness/staleness checks, same
         savepoint semantics, same accounting — amortized across the batch)."""
         self._check_executable(stmt, txn)
-        ctx = ExecutionContext(self.catalog, (), observer=txn.undo, guard=self._guard)
+        ctx = ExecutionContext(
+            self.catalog, (), observer=txn.undo, guard=self._guard, obs=self.obs
+        )
         mark = txn.undo.mark()
         try:
             total = stmt.run_many(ctx, param_rows)
@@ -1106,7 +1283,14 @@ class Database:
         atomicity) before the exception propagates, leaving the enclosing
         transaction consistent and usable."""
         self._check_executable(stmt, txn)
-        ctx = ExecutionContext(self.catalog, params, observer=txn.undo, guard=self._guard)
+        ctx = ExecutionContext(
+            self.catalog,
+            params,
+            observer=txn.undo,
+            guard=self._guard,
+            obs=self.obs,
+            explain_counts=self._explain_counts,
+        )
         mark = txn.undo.mark()
         try:
             result = stmt.execute(ctx)

@@ -9,6 +9,14 @@ MRU end; inserting past capacity evicts the LRU entry.
 Hits, misses, and evictions are counted so the benchmark harness can
 report the cache hit rate and tests can assert that a repeated statement
 was planned exactly once.
+
+Entries are additionally validated against the **statistics version**: a
+cached plan stamped with an older :attr:`StatsCatalog.version` than the
+caller's is evicted and reported as a miss (counted separately as a
+``stats_invalidation``), so an ANALYZE or automatic stats refresh causes
+replanning without a schema-epoch bump.  This matters because schema
+epochs *reject* stale plans at execution; stats staleness must only ever
+trigger a replan — a stats-stale plan is suboptimal, never incorrect.
 """
 
 from __future__ import annotations
@@ -22,7 +30,9 @@ from ..sql.planner import PreparedStatement
 class PlanCache:
     """Bounded LRU mapping ``sql text -> PreparedStatement``."""
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+    __slots__ = (
+        "capacity", "hits", "misses", "evictions", "stats_invalidations", "_entries",
+    )
 
     def __init__(self, capacity: int = 256):
         if capacity < 1:
@@ -31,11 +41,24 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stats_invalidations = 0
         self._entries: OrderedDict[str, PreparedStatement] = OrderedDict()
 
-    def get(self, sql: str) -> Optional[PreparedStatement]:
+    def get(self, sql: str, stats_version: Optional[int] = None) -> Optional[PreparedStatement]:
+        """Look up a plan; ``stats_version`` (when given) must match the
+        version the cached plan was costed under, else the entry is stale
+        — evicted and reported as a miss so the caller replans."""
         stmt = self._entries.get(sql)
         if stmt is None:
+            self.misses += 1
+            return None
+        if (
+            stats_version is not None
+            and stmt.stats_version is not None
+            and stmt.stats_version != stats_version
+        ):
+            del self._entries[sql]
+            self.stats_invalidations += 1
             self.misses += 1
             return None
         self._entries.move_to_end(sql)
@@ -67,6 +90,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "stats_invalidations": self.stats_invalidations,
             "hit_rate": self.hit_rate(),
         }
 

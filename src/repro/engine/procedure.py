@@ -58,24 +58,31 @@ ProcedureFn = Callable[..., Any]
 class StoredProcedure:
     """A registered procedure and its pinned (compile-once) statements."""
 
-    __slots__ = ("name", "fn", "_pinned", "_pinned_epoch")
+    __slots__ = ("name", "fn", "_pinned", "_pinned_epoch", "_pinned_stats_version")
 
     def __init__(self, name: str, fn: ProcedureFn):
         self.name = name
         self.fn = fn
         self._pinned: dict[str, PreparedStatement] = {}
         self._pinned_epoch = -1  # never matches a real epoch: pin lazily
+        self._pinned_stats_version = -1
 
     def statement(self, db: "Database", sql: str) -> PreparedStatement:
         """The pinned plan for ``sql``, (re-)pinning through the plan cache.
 
         On a pin-table hit this is a dict lookup — no plan-cache traffic,
-        no clock charge.  After DDL bumps the schema epoch the whole pin
-        table is dropped and each statement re-pins on next use.
+        no clock charge.  After DDL bumps the schema epoch — or an ANALYZE
+        bumps the statistics version, making the pinned costing stale —
+        the whole pin table is dropped and each statement re-pins on next
+        use.
         """
-        if self._pinned_epoch != db.schema_epoch:
+        if (
+            self._pinned_epoch != db.schema_epoch
+            or self._pinned_stats_version != db.table_stats.version
+        ):
             self._pinned.clear()
             self._pinned_epoch = db.schema_epoch
+            self._pinned_stats_version = db.table_stats.version
         stmt = self._pinned.get(sql)
         if stmt is None:
             stmt = db.prepare(sql)

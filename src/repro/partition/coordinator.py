@@ -474,6 +474,28 @@ class PartitionedDatabase:
             lambda pid: {"op": "xp_call", "name": name, "args": list(args)}
         )
 
+    def explain(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> dict:
+        """The plan tree with estimated (and, for SELECT, actual) row
+        counts.  With ``key=`` the statement is explained (and, for
+        SELECT, executed) on that key's partition; without one it goes to
+        partition 0 — every partition shares the schema, so the plan
+        *shape* is identical everywhere and only the row counts are
+        partition-local."""
+        pid = self.partition_map.partition_of(key) if key is not None else 0
+        return self._request(
+            pid, {"op": "explain", "sql": sql, "params": list(params)}
+        )
+
+    def analyze(self, table: Optional[str] = None) -> dict[str, int]:
+        """Collect column statistics on **every** partition (each worker's
+        planner costs against its own rows); returns the per-table row
+        totals summed across partitions."""
+        totals: dict[str, int] = {}
+        for pid in range(self.num_partitions):
+            for name, rows in self._request(pid, {"op": "analyze", "table": table}).items():
+                totals[name] = totals.get(name, 0) + rows
+        return totals
+
     def executemany(self, sql: str, param_rows, *, key_position: int) -> int:
         """Bulk DML routed row-by-row: each parameter row goes to the
         partition of its ``key_position``-th value, applied as one

@@ -156,6 +156,12 @@ class WorkerServer:
             request["stream"], request["rows"], request.get("batch_id")
         )
 
+    def _op_explain(self, request) -> dict[str, Any]:
+        return self.db.explain(request["sql"], request.get("params") or ())
+
+    def _op_analyze(self, request) -> dict[str, int]:
+        return self.db.analyze(request.get("table"))
+
     def _op_drain(self, request) -> int:
         return self.db.drain()
 

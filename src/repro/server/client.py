@@ -168,6 +168,14 @@ class ReproClient:
     def query(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> list[dict]:
         return self.execute(sql, params, key=key).to_dicts()
 
+    def explain(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> dict:
+        """The server-side plan tree for ``sql``: chosen access path and
+        join algorithms, estimated rows/costs, the alternatives considered,
+        and — for SELECT, which is executed — actual per-operator rows."""
+        return self._request(
+            {"op": "explain", "sql": sql, "params": list(params), "key": key}
+        )
+
     def executemany(
         self, sql: str, param_rows, *, key_position: Optional[int] = None
     ) -> int:
@@ -336,6 +344,11 @@ class AsyncReproClient:
     async def execute(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> Any:
         return await self.request(
             {"op": "execute", "sql": sql, "params": list(params), "key": key}
+        )
+
+    async def explain(self, sql: str, params: Sequence[Any] = (), *, key: Any = None) -> dict:
+        return await self.request(
+            {"op": "explain", "sql": sql, "params": list(params), "key": key}
         )
 
     async def call(self, name: str, *args: Any, key: Any = None) -> Any:

@@ -39,7 +39,7 @@ PROTOCOL_VERSION = 1
 
 #: engine operations — dispatched to the engine thread in FIFO order.
 OPS = frozenset(
-    {"execute", "executemany", "call", "ingest", "drain", "flush_log", "stats"}
+    {"execute", "executemany", "call", "ingest", "drain", "flush_log", "stats", "explain"}
 )
 
 #: engine operations exempt from admission control.
@@ -126,6 +126,11 @@ def perform(db: Any, record: dict[str, Any], partitioned: bool) -> Any:
         return db.flush_log()
     if op == "stats":
         return db.stats(section=record.get("section"))
+    if op == "explain":
+        params = tuple(record.get("params") or ())
+        if partitioned and record.get("key") is not None:
+            return db.explain(record["sql"], params, key=record["key"])
+        return db.explain(record["sql"], params)
     raise ProtocolError(f"unknown operation {op!r}")  # pragma: no cover - server gates
 
 

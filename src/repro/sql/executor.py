@@ -27,6 +27,7 @@ from collections import Counter
 from typing import Any, Callable, Iterator, Optional, Protocol, Sequence
 
 from ..common.errors import PlanningError
+from ..obs import DISABLED
 from ..storage.catalog import Catalog
 from ..storage.index import OrderedIndex
 from ..storage.table import Table
@@ -106,9 +107,16 @@ EMPTY_RESULT = ResultSet((), [], rowcount=0)
 
 
 class ExecutionContext:
-    """Everything a prepared statement needs at run time."""
+    """Everything a prepared statement needs at run time.
 
-    __slots__ = ("catalog", "params", "observer", "guard", "counters")
+    ``obs`` is the engine's observability handle (DISABLED by default:
+    operators guard on ``obs.enabled``, so the uninstrumented path costs
+    one attribute load).  ``explain_counts`` is normally ``None``; an
+    EXPLAIN run passes a dict and every operator records its actual
+    output rows under its plan ``op_id``.
+    """
+
+    __slots__ = ("catalog", "params", "observer", "guard", "counters", "obs", "explain_counts")
 
     def __init__(
         self,
@@ -117,12 +125,16 @@ class ExecutionContext:
         *,
         observer: Optional[WriteObserver] = None,
         guard: Optional[AccessGuard] = None,
+        obs=DISABLED,
+        explain_counts: Optional[dict[int, int]] = None,
     ):
         self.catalog = catalog
         self.params = tuple(params)
         self.observer = observer
         self.guard = guard
         self.counters: Counter[str] = Counter()
+        self.obs = obs
+        self.explain_counts = explain_counts
 
     # -- guarded table access ------------------------------------------------
 
@@ -191,32 +203,39 @@ _NO_ROW: tuple = ()
 class SeqScan:
     """Full scan in insertion (arrival) order with optional residual filter."""
 
-    __slots__ = ("table_name", "pred")
+    __slots__ = ("table_name", "pred", "op_id")
 
     def __init__(self, table_name: str, pred: Optional[Predicate] = None):
         self.table_name = table_name
         self.pred = pred
+        self.op_id = -1
 
     def __call__(self, ctx: ExecutionContext) -> Iterator[tuple[int, tuple]]:
         table = ctx.read_table(self.table_name)
         pred = self.pred
         params = ctx.params
         scanned = 0
+        emitted = 0
         # finally, not loop-exit: a LIMIT may close this generator early and
         # the rows already visited must still be counted (and charged).
         try:
             for rowid, row in table.scan_visible():
                 scanned += 1
                 if pred is None or pred(row, params):
+                    emitted += 1
                     yield rowid, row
         finally:
             ctx.count("rows_scanned", scanned)
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )
 
 
 class IndexScan:
     """Equality probe into a hash index, plus optional residual filter."""
 
-    __slots__ = ("table_name", "index_name", "key_fns", "pred")
+    __slots__ = ("table_name", "index_name", "key_fns", "pred", "op_id")
 
     def __init__(
         self,
@@ -229,6 +248,7 @@ class IndexScan:
         self.index_name = index_name
         self.key_fns = tuple(key_fns)
         self.pred = pred
+        self.op_id = -1
 
     def __call__(self, ctx: ExecutionContext) -> Iterator[tuple[int, tuple]]:
         table = ctx.read_table(self.table_name)
@@ -241,6 +261,7 @@ class IndexScan:
         pred = self.pred
         visible = table.is_visible
         scanned = 0
+        emitted = 0
         # batched counter update (finally: a LIMIT may close this generator
         # early and the rows already visited must still be counted)
         try:
@@ -250,15 +271,22 @@ class IndexScan:
                     continue
                 scanned += 1
                 if pred is None or pred(row, params):
+                    emitted += 1
                     yield rowid, row
         finally:
             ctx.count("rows_scanned", scanned)
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )
 
 
 class IndexRangeScan:
     """Range scan over an ordered index, plus optional residual filter."""
 
-    __slots__ = ("table_name", "index_name", "lo_fn", "hi_fn", "lo_inc", "hi_inc", "pred")
+    __slots__ = (
+        "table_name", "index_name", "lo_fn", "hi_fn", "lo_inc", "hi_inc", "pred", "op_id",
+    )
 
     def __init__(
         self,
@@ -277,6 +305,7 @@ class IndexRangeScan:
         self.lo_inc = lo_inc
         self.hi_inc = hi_inc
         self.pred = pred
+        self.op_id = -1
 
     def __call__(self, ctx: ExecutionContext) -> Iterator[tuple[int, tuple]]:
         table = ctx.read_table(self.table_name)
@@ -292,6 +321,7 @@ class IndexRangeScan:
         pred = self.pred
         visible = table.is_visible
         scanned = 0
+        emitted = 0
         # batched counter update (same early-close contract as above)
         try:
             for rowid in index.range_scan(lo, hi, lo_inclusive=self.lo_inc, hi_inclusive=self.hi_inc):
@@ -300,9 +330,14 @@ class IndexRangeScan:
                     continue
                 scanned += 1
                 if pred is None or pred(row, params):
+                    emitted += 1
                     yield rowid, row
         finally:
             ctx.count("rows_scanned", scanned)
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )
 
 
 Scan = SeqScan | IndexScan | IndexRangeScan

@@ -1,0 +1,342 @@
+"""Hash, sort-merge, and block-nested-loop join operators.
+
+Each step follows the planner's join-step protocol — configured once at
+plan time, then ``apply(rows, ctx)`` maps the outer row iterator to the
+joined iterator — and joins the outer prefix (everything planned so far)
+against one named inner table.  The combined row is always
+``outer + inner`` regardless of which side builds, so downstream
+projection slots are stable across algorithms; only the *row order* may
+differ between algorithms (SQL makes no ordering promise without
+ORDER BY, and the differential tests compare sorted row sets).
+
+* :class:`HashJoinStep` — equi-join; builds a hash table on the side the
+  planner estimated smaller (``build_inner``) and probes with the other.
+  NULL join keys never match (SQL equality), and LEFT OUTER rows are
+  null-padded after probing.  Emits ``join.build`` / ``join.probe``
+  observability spans when tracing is on.
+* :class:`MergeJoinStep` — equi-join; materialises and sorts both sides
+  by the key, then merges duplicate blocks.  Key types must be mutually
+  comparable (:class:`ExpressionError` otherwise).
+* :class:`BlockNestedLoopStep` — the fallback for arbitrary (non-equi)
+  ON predicates: materialises the inner table **once** and loops, unlike
+  the legacy per-outer-row rescan.
+
+``rows_scanned`` counts each inner-table row visit exactly once per
+statement for all three (the build/materialise pass), which is the point:
+the legacy nested loop charged ``outer × inner``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..common.errors import ExpressionError
+from .executor import ExecutionContext
+from .expressions import Compiled
+
+__all__ = ["HashJoinStep", "MergeJoinStep", "BlockNestedLoopStep"]
+
+
+class HashJoinStep:
+    """Hash equi-join against ``table_name`` on compiled outer-key
+    expressions vs inner-row key slots."""
+
+    __slots__ = (
+        "table_name",
+        "arity",
+        "outer_key_fns",
+        "inner_key_slots",
+        "residual",
+        "kind",
+        "build_inner",
+        "op_id",
+        "_null_pad",
+    )
+
+    def __init__(
+        self,
+        table_name: str,
+        arity: int,
+        outer_key_fns: Sequence[Compiled],
+        inner_key_slots: Sequence[int],
+        residual,
+        kind: str,
+        *,
+        build_inner: bool = True,
+    ):
+        self.table_name = table_name
+        self.arity = arity
+        self.outer_key_fns = tuple(outer_key_fns)
+        self.inner_key_slots = tuple(inner_key_slots)
+        self.residual = residual
+        self.kind = kind
+        self.build_inner = build_inner
+        self.op_id = -1
+        self._null_pad = (None,) * arity
+
+    def apply(self, rows: Iterator[tuple], ctx: ExecutionContext) -> Iterator[tuple]:
+        if self.build_inner:
+            yield from self._apply_build_inner(rows, ctx)
+        else:
+            yield from self._apply_build_outer(rows, ctx)
+
+    def _apply_build_inner(self, rows, ctx) -> Iterator[tuple]:
+        table = ctx.read_table(self.table_name)
+        obs = ctx.obs
+        params = ctx.params
+        residual = self.residual
+        left_outer = self.kind == "left"
+        slots = self.inner_key_slots
+        key_fns = self.outer_key_fns
+
+        span = obs.span("join.build", table=self.table_name, side="inner") if obs.enabled else None
+        build: dict[tuple, list[tuple]] = {}
+        scanned = 0
+        for _rowid, right in table.scan_visible():
+            scanned += 1
+            key = tuple(right[s] for s in slots)
+            if None in key:
+                continue  # NULL never joins
+            bucket = build.get(key)
+            if bucket is None:
+                build[key] = [right]
+            else:
+                bucket.append(right)
+        ctx.count("rows_scanned", scanned)
+        if span is not None:
+            span.finish()
+
+        span = obs.span("join.probe", table=self.table_name, side="inner") if obs.enabled else None
+        emitted = 0
+        try:
+            for left in rows:
+                matched = False
+                key = tuple(fn(left, params) for fn in key_fns)
+                bucket = build.get(key)  # a NULL in the key simply misses
+                if bucket is not None:
+                    for right in bucket:
+                        combined = left + right
+                        if residual is None or residual(combined, params):
+                            matched = True
+                            emitted += 1
+                            yield combined
+                if left_outer and not matched:
+                    emitted += 1
+                    yield left + self._null_pad
+        finally:
+            if span is not None:
+                span.finish()
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )
+
+    def _apply_build_outer(self, rows, ctx) -> Iterator[tuple]:
+        table = ctx.read_table(self.table_name)
+        obs = ctx.obs
+        params = ctx.params
+        residual = self.residual
+        left_outer = self.kind == "left"
+        slots = self.inner_key_slots
+
+        span = obs.span("join.build", table=self.table_name, side="outer") if obs.enabled else None
+        outer_rows = list(rows)
+        build: dict[tuple, list[int]] = {}
+        for idx, left in enumerate(outer_rows):
+            key = tuple(fn(left, params) for fn in self.outer_key_fns)
+            if None in key:
+                continue
+            bucket = build.get(key)
+            if bucket is None:
+                build[key] = [idx]
+            else:
+                bucket.append(idx)
+        if span is not None:
+            span.finish()
+
+        span = obs.span("join.probe", table=self.table_name, side="outer") if obs.enabled else None
+        emitted = 0
+        matched: set[int] = set()
+        scanned = 0
+        try:
+            for _rowid, right in table.scan_visible():
+                scanned += 1
+                key = tuple(right[s] for s in slots)
+                bucket = build.get(key)
+                if bucket is None:
+                    continue
+                for idx in bucket:
+                    combined = outer_rows[idx] + right
+                    if residual is None or residual(combined, params):
+                        matched.add(idx)
+                        emitted += 1
+                        yield combined
+            if left_outer:
+                pad = self._null_pad
+                for idx, left in enumerate(outer_rows):
+                    if idx not in matched:
+                        emitted += 1
+                        yield left + pad
+        finally:
+            ctx.count("rows_scanned", scanned)
+            if span is not None:
+                span.finish()
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )
+
+
+class MergeJoinStep:
+    """Sort-merge equi-join: sort both sides on the key, merge duplicate
+    blocks.  LEFT OUTER unmatched rows are emitted (null-padded) in their
+    original outer order after the merge."""
+
+    __slots__ = (
+        "table_name",
+        "arity",
+        "outer_key_fns",
+        "inner_key_slots",
+        "residual",
+        "kind",
+        "op_id",
+        "_null_pad",
+    )
+
+    def __init__(
+        self,
+        table_name: str,
+        arity: int,
+        outer_key_fns: Sequence[Compiled],
+        inner_key_slots: Sequence[int],
+        residual,
+        kind: str,
+    ):
+        self.table_name = table_name
+        self.arity = arity
+        self.outer_key_fns = tuple(outer_key_fns)
+        self.inner_key_slots = tuple(inner_key_slots)
+        self.residual = residual
+        self.kind = kind
+        self.op_id = -1
+        self._null_pad = (None,) * arity
+
+    def apply(self, rows: Iterator[tuple], ctx: ExecutionContext) -> Iterator[tuple]:
+        table = ctx.read_table(self.table_name)
+        obs = ctx.obs
+        params = ctx.params
+        residual = self.residual
+        left_outer = self.kind == "left"
+        slots = self.inner_key_slots
+
+        span = obs.span("join.sort", table=self.table_name) if obs.enabled else None
+        outer_rows = list(rows)
+        inner_rows = [row for _rowid, row in table.scan_visible()]
+        ctx.count("rows_scanned", len(inner_rows))
+        okeys: list[tuple[tuple, int]] = []
+        for idx, left in enumerate(outer_rows):
+            key = tuple(fn(left, params) for fn in self.outer_key_fns)
+            if None not in key:  # NULL never joins
+                okeys.append((key, idx))
+        ikeys: list[tuple[tuple, int]] = []
+        for idx, right in enumerate(inner_rows):
+            key = tuple(right[s] for s in slots)
+            if None not in key:
+                ikeys.append((key, idx))
+        try:
+            okeys.sort(key=lambda p: p[0])
+            ikeys.sort(key=lambda p: p[0])
+        except TypeError:
+            raise ExpressionError(
+                "sort-merge join keys are not mutually comparable"
+            ) from None
+        if span is not None:
+            span.finish()
+
+        emitted = 0
+        matched: Optional[set[int]] = set() if left_outer else None
+        try:
+            i = j = 0
+            n, m = len(okeys), len(ikeys)
+            while i < n and j < m:
+                ko = okeys[i][0]
+                ki = ikeys[j][0]
+                try:
+                    if ko < ki:
+                        i += 1
+                        continue
+                    if ko > ki:
+                        j += 1
+                        continue
+                except TypeError:
+                    raise ExpressionError(
+                        "sort-merge join keys are not mutually comparable"
+                    ) from None
+                i2 = i
+                while i2 < n and okeys[i2][0] == ko:
+                    i2 += 1
+                j2 = j
+                while j2 < m and ikeys[j2][0] == ko:
+                    j2 += 1
+                for a in range(i, i2):
+                    left = outer_rows[okeys[a][1]]
+                    for b in range(j, j2):
+                        combined = left + inner_rows[ikeys[b][1]]
+                        if residual is None or residual(combined, params):
+                            if matched is not None:
+                                matched.add(okeys[a][1])
+                            emitted += 1
+                            yield combined
+                i, j = i2, j2
+            if left_outer:
+                pad = self._null_pad
+                for idx, left in enumerate(outer_rows):
+                    if idx not in matched:
+                        emitted += 1
+                        yield left + pad
+        finally:
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )
+
+
+class BlockNestedLoopStep:
+    """Nested loop with the inner table materialised **once** — the
+    fallback for non-equi ON predicates (and CROSS joins)."""
+
+    __slots__ = ("table_name", "arity", "on_pred", "kind", "op_id", "_null_pad")
+
+    def __init__(self, table_name: str, arity: int, on_pred, kind: str):
+        self.table_name = table_name
+        self.arity = arity
+        self.on_pred = on_pred
+        self.kind = kind
+        self.op_id = -1
+        self._null_pad = (None,) * arity
+
+    def apply(self, rows: Iterator[tuple], ctx: ExecutionContext) -> Iterator[tuple]:
+        table = ctx.read_table(self.table_name)
+        params = ctx.params
+        on_pred = self.on_pred
+        left_outer = self.kind == "left"
+        inner_rows = [row for _rowid, row in table.scan_visible()]
+        ctx.count("rows_scanned", len(inner_rows))
+        emitted = 0
+        try:
+            for left in rows:
+                matched = False
+                for right in inner_rows:
+                    combined = left + right
+                    if on_pred is None or on_pred(combined, params):
+                        matched = True
+                        emitted += 1
+                        yield combined
+                if left_outer and not matched:
+                    emitted += 1
+                    yield left + self._null_pad
+        finally:
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )

@@ -3,33 +3,36 @@
 This is the layer H-Store (and therefore S-Store) leans on for its core
 performance premise: a stored procedure's SQL is planned **once** and the
 resulting plan is executed many times with fresh parameters.  Planning does
-all name resolution, expression compilation, and — critically — access-path
-selection up front, so the execution hot path is a chain of precompiled
-Python closures with no AST walking, no string handling, and no dictionary
-lookups per row.
+all name resolution, expression compilation (to *generated Python code*,
+see :mod:`repro.sql.compile`), and — critically — access-path and
+join-algorithm selection up front, so the execution hot path is a chain of
+precompiled single-frame callables with no AST walking, no string
+handling, and no dictionary lookups per row.
 
-Access-path selection (paper §4.6.3: "a lookup rather than a table scan"):
+Physical choices are **priced by a cost model** over table statistics
+(:mod:`repro.engine.stats`) instead of picked purely by rule:
 
-1. The WHERE clause is split into AND-conjuncts.  A conjunct is *sargable*
-   when it compares a base-table column against a value expression (only
-   literals, parameters, and arithmetic over them — evaluable before the
-   scan starts).
-2. Equality conjuncts are matched against the table's indexes via
-   :meth:`Table.find_equality_index` (exact key-set match, preferring
-   unique indexes) and, failing that, a subset match so a compound
-   predicate can still use a narrower index.  A hit compiles to
-   :class:`~repro.sql.executor.IndexScan`.
-3. Otherwise, range conjuncts (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``)
-   are matched against ordered indexes via
-   :meth:`Table.find_ordered_index`, compiling to
-   :class:`~repro.sql.executor.IndexRangeScan`.
-4. Otherwise the plan falls back to :class:`~repro.sql.executor.SeqScan`.
+* Access paths (paper §4.6.3: "a lookup rather than a table scan"):
+  sargable equality conjuncts matched against hash indexes, range
+  conjuncts against ordered indexes, sequential scan as the floor — each
+  candidate priced as probe cost + estimated rows fetched, cheapest wins
+  (ties prefer the more selective path, preserving the classic rule).
+* Join algorithms per step: index-nested-loop (probe an inner-table
+  index per outer row), hash join (build on the estimated-smaller side),
+  sort-merge, and block-nested-loop as the universal fallback.  The
+  estimate of rows flowing *into* each step is carried left-to-right, so
+  the same ON clause can plan differently for a selective vs. a broad
+  outer.  ``force_join`` pins one algorithm for differential testing.
 
 Conjuncts not consumed by the chosen access path are ANDed into a compiled
 *residual* predicate evaluated per row.  UPDATE and DELETE run the same
 access-path machinery, then **materialise the matching rowids before the
 first mutation** — this is what lets :meth:`Table.scan` iterate without a
 defensive copy.
+
+Every plan carries a ``plan_info`` tree (operator, estimated rows, cost,
+alternatives considered) that ``Database.explain`` surfaces with actual
+row counts.
 
 Entry points: :func:`prepare` (SQL text → prepared statement) and
 :func:`plan` (parsed AST → prepared statement).  Statements are planned
@@ -40,7 +43,8 @@ prepared statement works on every partition with the same schema.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+import math
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from ..common.errors import PlanningError
 from ..storage.catalog import Catalog
@@ -64,6 +68,7 @@ from .ast import (
     max_param_index,
     walk,
 )
+from .compile import compile_expr, compile_predicate
 from .executor import (
     ExecutionContext,
     IndexRangeScan,
@@ -74,15 +79,9 @@ from .executor import (
     null_safe_key,
     sort_rows,
 )
-from .expressions import (
-    Compiled,
-    Scope,
-    SlotRef,
-    compile_expr,
-    predicate,
-    transform,
-)
+from .expressions import Compiled, Scope, SlotRef, transform
 from .functions import make_accumulator
+from .joins import BlockNestedLoopStep, HashJoinStep, MergeJoinStep
 from .parser import parse
 
 #: Scope with no sources: compiles expressions over (params, literals) only.
@@ -92,6 +91,60 @@ _VALUE_SCOPE = Scope()
 
 Runner = Callable[[ExecutionContext], ResultSet]
 
+#: join strategies accepted by ``force_join``
+JOIN_STRATEGIES = ("inl", "hash", "merge", "bnl")
+
+# ---------------------------------------------------------------------------
+# Cost model.  The unit is "one sequential row visit" = 1.0; everything else
+# is priced relative to it.  Constants are deliberately coarse — what
+# matters is the *asymptotic* ordering (probe ≪ scan, hash build linear,
+# nested loop quadratic), which is what flips plans at scale.
+# ---------------------------------------------------------------------------
+
+_COST_ROW = 1.0          # visiting one row sequentially
+_COST_PROBE = 0.4        # one hash/index lookup
+_COST_BUILD_ROW = 1.5    # inserting one row into a join hash table
+_COST_PAIR = 0.25        # evaluating a predicate on one candidate pair
+_COST_SORT_FACTOR = 1.2  # per-element sort factor (× log2 n)
+
+#: fallback selectivity of a conjunct the estimator cannot read
+_OTHER_SELECTIVITY = 0.33
+
+
+def _sort_cost(n: float) -> float:
+    return _COST_SORT_FACTOR * n * math.log2(n + 2)
+
+
+_FALLBACK_STATS = None
+
+
+def _default_stats():
+    """Statistics catalog used when planning outside a Database (tests,
+    direct ``prepare`` calls): never analyzed, so every estimate uses the
+    documented defaults.  Imported lazily — :mod:`repro.engine` imports
+    this module at package-import time."""
+    global _FALLBACK_STATS
+    if _FALLBACK_STATS is None:
+        from ..engine.stats import StatsCatalog
+
+        _FALLBACK_STATS = StatsCatalog()
+    return _FALLBACK_STATS
+
+
+class _PlanEnv:
+    """Planning-time environment: statistics + forced join strategy."""
+
+    __slots__ = ("stats", "force_join")
+
+    def __init__(self, stats, force_join: Optional[str]):
+        if force_join is not None and force_join not in JOIN_STRATEGIES:
+            raise PlanningError(
+                f"unknown join strategy {force_join!r} "
+                f"(expected one of {', '.join(JOIN_STRATEGIES)})"
+            )
+        self.stats = stats if stats is not None else _default_stats()
+        self.force_join = force_join
+
 
 class PreparedStatement:
     """An immutable, compiled statement ready for repeated execution.
@@ -99,13 +152,18 @@ class PreparedStatement:
     Holds the original SQL (the plan-cache key), the statement kind
     (``select``/``insert``/``update``/``delete``), the number of ``?``
     parameters the statement requires, the output column names
-    (``columns``; empty for DML — known statically at plan time), and a
-    compiled runner closure.
+    (``columns``; empty for DML — known statically at plan time), a
+    compiled runner closure, and ``plan_info`` — the JSON-safe plan tree
+    (access path, join algorithms, estimated rows/costs) that
+    ``Database.explain`` renders.
 
-    ``epoch`` is the one mutable field: the :class:`~repro.engine.Database`
-    facade stamps it with its schema epoch at prepare time so stale plans
-    held across DDL are rejected instead of silently misbehaving.  It is
-    ``None`` for statements planned outside a Database.
+    ``epoch`` and ``stats_version`` are the mutable fields: the
+    :class:`~repro.engine.Database` facade stamps them at prepare time.
+    A schema-epoch mismatch **rejects** execution (a stale plan could
+    read the wrong columns); a stats-version mismatch merely causes the
+    plan cache to replan (a stats-stale plan is suboptimal, not
+    incorrect).  Both are ``None`` for statements planned outside a
+    Database.
 
     ``run_many`` is the vectorized batch binder, present only on statements
     that support bulk execution (INSERT ... VALUES): called as
@@ -114,7 +172,17 @@ class PreparedStatement:
     rowcount.  ``Database.executemany`` routes through it when available.
     """
 
-    __slots__ = ("sql", "kind", "param_count", "columns", "epoch", "_runner", "run_many")
+    __slots__ = (
+        "sql",
+        "kind",
+        "param_count",
+        "columns",
+        "epoch",
+        "stats_version",
+        "plan_info",
+        "_runner",
+        "run_many",
+    )
 
     def __init__(
         self,
@@ -124,12 +192,15 @@ class PreparedStatement:
         runner: Runner,
         columns: tuple[str, ...] = (),
         run_many: Optional[Callable[[ExecutionContext, Iterable[Sequence]], int]] = None,
+        plan_info: Optional[dict[str, Any]] = None,
     ):
         self.sql = sql
         self.kind = kind
         self.param_count = param_count
         self.columns = columns
         self.epoch: Optional[int] = None
+        self.stats_version: Optional[int] = None
+        self.plan_info: dict[str, Any] = plan_info if plan_info is not None else {"kind": kind}
         self._runner = runner
         self.run_many = run_many
 
@@ -145,21 +216,42 @@ class PreparedStatement:
         return f"PreparedStatement({self.kind}, {self.sql!r})"
 
 
-def prepare(sql: str, catalog: Catalog) -> PreparedStatement:
-    """Lex + parse + plan ``sql`` against ``catalog``."""
-    return plan(parse(sql), catalog, sql=sql)
+def prepare(
+    sql: str,
+    catalog: Catalog,
+    *,
+    stats=None,
+    force_join: Optional[str] = None,
+) -> PreparedStatement:
+    """Lex + parse + plan ``sql`` against ``catalog``.
+
+    ``stats`` is a :class:`~repro.engine.stats.StatsCatalog` (cardinality
+    and selectivity estimates; defaults apply without one).  ``force_join``
+    pins every join step to one algorithm — ``"inl"``, ``"hash"``,
+    ``"merge"``, or ``"bnl"`` — falling back to the nearest feasible
+    algorithm when the forced one cannot run the join shape.
+    """
+    return plan(parse(sql), catalog, sql=sql, stats=stats, force_join=force_join)
 
 
-def plan(stmt: Statement, catalog: Catalog, *, sql: str = "") -> PreparedStatement:
+def plan(
+    stmt: Statement,
+    catalog: Catalog,
+    *,
+    sql: str = "",
+    stats=None,
+    force_join: Optional[str] = None,
+) -> PreparedStatement:
     """Compile a parsed statement into a :class:`PreparedStatement`."""
+    env = _PlanEnv(stats, force_join)
     if isinstance(stmt, Select):
-        return _plan_select(stmt, catalog, sql)
+        return _plan_select(stmt, catalog, sql, env)
     if isinstance(stmt, Insert):
-        return _plan_insert(stmt, catalog, sql)
+        return _plan_insert(stmt, catalog, sql, env)
     if isinstance(stmt, Update):
-        return _plan_update(stmt, catalog, sql)
+        return _plan_update(stmt, catalog, sql, env)
     if isinstance(stmt, Delete):
-        return _plan_delete(stmt, catalog, sql)
+        return _plan_delete(stmt, catalog, sql, env)
     raise PlanningError(f"cannot plan statement of type {type(stmt).__name__}")
 
 
@@ -244,6 +336,31 @@ def _classify(conjunct: Expr, scope: Scope, base_arity: int, schema: TableSchema
     return _Sarg("other", None, (), conjunct)
 
 
+def _literal_value(expr: Expr) -> Any:
+    """The plan-time value of a literal bound, or None when unknown
+    (parameter / arithmetic — estimated with defaults)."""
+    return expr.value if isinstance(expr, Literal) else None
+
+
+def _sarg_selectivity(sarg: _Sarg, table: Table, env: _PlanEnv) -> float:
+    """Estimated fraction of rows surviving one conjunct."""
+    stats = env.stats
+    if sarg.kind == "eq":
+        return stats.eq_selectivity(table, sarg.column)
+    if sarg.kind == "cmp_lo":
+        return stats.range_selectivity(table, sarg.column, _literal_value(sarg.exprs[1]), None)
+    if sarg.kind == "cmp_hi":
+        return stats.range_selectivity(table, sarg.column, None, _literal_value(sarg.exprs[1]))
+    if sarg.kind == "between":
+        return stats.range_selectivity(
+            table,
+            sarg.column,
+            _literal_value(sarg.exprs[0]),
+            _literal_value(sarg.exprs[1]),
+        )
+    return _OTHER_SELECTIVITY
+
+
 def _choose_equality_index(table: Table, eq_cols: Sequence[str]):
     """Best index whose key columns are all bound by equality conjuncts —
     :meth:`Table.find_equality_index` in subset mode, so e.g.
@@ -253,43 +370,66 @@ def _choose_equality_index(table: Table, eq_cols: Sequence[str]):
     return table.find_equality_index(eq_cols, subset=True)
 
 
-def build_scan(
+def _build_scan_costed(
     where: Optional[Expr],
     table: Table,
     scope: Scope,
     base_arity: int,
+    env: _PlanEnv,
     *,
     extra_conjuncts: Sequence[Expr] = (),
-) -> Scan:
+) -> tuple[Scan, float, dict[str, Any]]:
     """Pick the physical access path for one table given its WHERE conjuncts.
 
     ``extra_conjuncts`` are pre-split conjuncts (used by SELECT-with-joins,
     which pushes only base-table conjuncts down into the scan); ``where``
-    is the raw clause for the single-table statements.  Returns a configured
-    :class:`SeqScan` / :class:`IndexScan` / :class:`IndexRangeScan` whose
+    is the raw clause for the single-table statements.  Candidates —
+    equality-index probe, ordered-index range scan, sequential scan — are
+    priced as probe cost + estimated rows fetched, and the cheapest wins
+    (ties break toward the probe, which also matches the legacy rule).
+
+    Returns ``(scan, estimated_output_rows, plan_info_node)``; the scan's
     residual predicate covers every conjunct the access path itself does
     not guarantee.
     """
     schema = table.schema
     conjuncts = list(extra_conjuncts) if extra_conjuncts else split_conjuncts(where)
     sargs = [_classify(c, scope, base_arity, schema) for c in conjuncts]
+    live = table.row_count()
 
-    consumed: set[int] = set()
+    # candidate: (cost, tie_order, fetch_est, consumed, make_scan, info)
+    candidates: list[tuple] = []
 
-    # 1. equality index
+    # 1. equality index probe
     eq_by_col: dict[str, int] = {}  # column -> sarg position (first wins)
     for i, s in enumerate(sargs):
         if s.kind == "eq" and s.column not in eq_by_col:
             eq_by_col[s.column] = i
     index = _choose_equality_index(table, list(eq_by_col))
     if index is not None:
-        key_fns = []
-        for col in index.key_columns:
-            pos = eq_by_col[col]
-            key_fns.append(compile_expr(sargs[pos].exprs[0], _VALUE_SCOPE))
-            consumed.add(pos)
-        residual = _compile_residual(sargs, consumed, scope)
-        return IndexScan(table.name, index.name, key_fns, residual)
+        consumed = {eq_by_col[col] for col in index.key_columns}
+        if index.unique:
+            fetch = min(1.0, float(live))
+        else:
+            sel = 1.0
+            for col in index.key_columns:
+                sel *= env.stats.eq_selectivity(table, col)
+            fetch = live * sel
+        cost = _COST_PROBE + fetch * _COST_ROW
+
+        def make_eq_scan(consumed=consumed, index=index):
+            key_fns = [
+                compile_expr(sargs[eq_by_col[col]].exprs[0], _VALUE_SCOPE)
+                for col in index.key_columns
+            ]
+            residual = _compile_residual(sargs, consumed, scope)
+            return IndexScan(table.name, index.name, key_fns, residual)
+
+        candidates.append(
+            (cost, 0, fetch, consumed, make_eq_scan,
+             {"op": "IndexScan", "table": table.name, "index": index.name,
+              "unique": index.unique})
+        )
 
     # 2. ordered (range) index — first range-eligible column with one
     for i, s in enumerate(sargs):
@@ -298,32 +438,87 @@ def build_scan(
         ordered = table.find_ordered_index(s.column)
         if ordered is None:
             continue
-        lo_fn = hi_fn = None
+        consumed = set()
+        lo_expr = hi_expr = None
         lo_inc = hi_inc = True
         if s.kind == "between":
-            lo_fn = compile_expr(s.exprs[0], _VALUE_SCOPE)
-            hi_fn = compile_expr(s.exprs[1], _VALUE_SCOPE)
+            lo_expr, hi_expr = s.exprs
             consumed.add(i)
         else:
             for j, other in enumerate(sargs):
                 if other.column != s.column:
                     continue
-                if other.kind == "cmp_lo" and lo_fn is None:
+                if other.kind == "cmp_lo" and lo_expr is None:
                     op, value = other.exprs
-                    lo_fn = compile_expr(value, _VALUE_SCOPE)
-                    lo_inc = op == ">="
+                    lo_expr, lo_inc = value, op == ">="
                     consumed.add(j)
-                elif other.kind == "cmp_hi" and hi_fn is None:
+                elif other.kind == "cmp_hi" and hi_expr is None:
                     op, value = other.exprs
-                    hi_fn = compile_expr(value, _VALUE_SCOPE)
-                    hi_inc = op == "<="
+                    hi_expr, hi_inc = value, op == "<="
                     consumed.add(j)
-        residual = _compile_residual(sargs, consumed, scope)
-        return IndexRangeScan(table.name, ordered.name, lo_fn, hi_fn, lo_inc, hi_inc, residual)
+        sel = env.stats.range_selectivity(
+            table,
+            s.column,
+            _literal_value(lo_expr) if lo_expr is not None else None,
+            _literal_value(hi_expr) if hi_expr is not None else None,
+        )
+        fetch = live * sel
+        cost = _COST_PROBE + fetch * _COST_ROW
+
+        def make_range_scan(consumed=consumed, ordered=ordered,
+                            lo_expr=lo_expr, hi_expr=hi_expr,
+                            lo_inc=lo_inc, hi_inc=hi_inc):
+            lo_fn = compile_expr(lo_expr, _VALUE_SCOPE) if lo_expr is not None else None
+            hi_fn = compile_expr(hi_expr, _VALUE_SCOPE) if hi_expr is not None else None
+            residual = _compile_residual(sargs, consumed, scope)
+            return IndexRangeScan(
+                table.name, ordered.name, lo_fn, hi_fn, lo_inc, hi_inc, residual
+            )
+
+        candidates.append(
+            (cost, 1, fetch, consumed, make_range_scan,
+             {"op": "IndexRangeScan", "table": table.name, "index": ordered.name})
+        )
+        break  # one range candidate (first eligible column), as before
 
     # 3. full scan with everything as residual
-    residual = _compile_residual(sargs, consumed, scope)
-    return SeqScan(table.name, residual)
+    candidates.append(
+        (live * _COST_ROW, 2, float(live), set(),
+         lambda: SeqScan(table.name, _compile_residual(sargs, set(), scope)),
+         {"op": "SeqScan", "table": table.name})
+    )
+
+    cost, _order, fetch, consumed, make_scan, info = min(
+        candidates, key=lambda c: (c[0], c[1])
+    )
+    # rows *out* of the scan: fetched rows thinned by the residual conjuncts
+    est = fetch
+    for i, s in enumerate(sargs):
+        if i not in consumed:
+            est *= _sarg_selectivity(s, table, env)
+    info = dict(info)
+    info["est_rows"] = int(round(est))
+    info["cost"] = round(cost, 1)
+    info["considered"] = {c[5]["op"]: round(c[0], 1) for c in candidates}
+    return make_scan(), est, info
+
+
+def build_scan(
+    where: Optional[Expr],
+    table: Table,
+    scope: Scope,
+    base_arity: int,
+    *,
+    extra_conjuncts: Sequence[Expr] = (),
+    stats=None,
+) -> Scan:
+    """Access-path selection without the cost/estimate plumbing — the
+    compatibility entry point (tests drive it directly)."""
+    env = _PlanEnv(stats, None)
+    scan, _est, _info = _build_scan_costed(
+        where, table, scope, base_arity, env, extra_conjuncts=extra_conjuncts
+    )
+    return scan
 
 
 def combine_conjuncts(conjuncts: Sequence[Expr], scope: Scope):
@@ -334,7 +529,7 @@ def combine_conjuncts(conjuncts: Sequence[Expr], scope: Scope):
     combined = conjuncts[0]
     for c in conjuncts[1:]:
         combined = Binary("and", combined, c)
-    return predicate(compile_expr(combined, scope))
+    return compile_predicate(combined, scope)
 
 
 def _compile_residual(sargs: list[_Sarg], consumed: set[int], scope: Scope):
@@ -344,20 +539,26 @@ def _compile_residual(sargs: list[_Sarg], consumed: set[int], scope: Scope):
 
 
 # ---------------------------------------------------------------------------
-# SELECT planning
+# Join planning — algorithm choice priced per step
 # ---------------------------------------------------------------------------
 
 
 class _JoinStep:
-    """One nested-loop join step against a named table (no usable index)."""
+    """Legacy nested-loop join: rescans the inner table per outer row.
 
-    __slots__ = ("table_name", "arity", "on_pred", "kind", "_null_pad")
+    Never chosen by the cost model (:class:`BlockNestedLoopStep` strictly
+    dominates it) but kept as the fallback for ``force_join="inl"`` when
+    no usable index exists, so the pre-cost-model plan stays available to
+    the differential tests."""
+
+    __slots__ = ("table_name", "arity", "on_pred", "kind", "op_id", "_null_pad")
 
     def __init__(self, table_name: str, arity: int, on_pred, kind: str):
         self.table_name = table_name
         self.arity = arity
         self.on_pred = on_pred
         self.kind = kind
+        self.op_id = -1
         self._null_pad = (None,) * arity
 
     def apply(self, rows: Iterator[tuple], ctx: ExecutionContext) -> Iterator[tuple]:
@@ -366,6 +567,7 @@ class _JoinStep:
         params = ctx.params
         left_outer = self.kind == "left"
         scanned = 0
+        emitted = 0
         # finally for the same reason as SeqScan: early generator close
         # (LIMIT) must not lose the rows already visited.
         try:
@@ -376,11 +578,17 @@ class _JoinStep:
                     combined = left + right
                     if on_pred is None or on_pred(combined, params):
                         matched = True
+                        emitted += 1
                         yield combined
                 if left_outer and not matched:
+                    emitted += 1
                     yield left + self._null_pad
         finally:
             ctx.count("rows_scanned", scanned)
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )
 
 
 class _IndexJoinStep:
@@ -389,7 +597,10 @@ class _IndexJoinStep:
     the whole inner table.  Residual ON conjuncts (those not covered by the
     index key) are evaluated on the combined row."""
 
-    __slots__ = ("table_name", "arity", "index_name", "key_fns", "residual", "kind", "_null_pad")
+    __slots__ = (
+        "table_name", "arity", "index_name", "key_fns", "residual", "kind",
+        "op_id", "_null_pad",
+    )
 
     def __init__(
         self,
@@ -406,6 +617,7 @@ class _IndexJoinStep:
         self.key_fns = tuple(key_fns)
         self.residual = residual
         self.kind = kind
+        self.op_id = -1
         self._null_pad = (None,) * arity
 
     def apply(self, rows: Iterator[tuple], ctx: ExecutionContext) -> Iterator[tuple]:
@@ -415,37 +627,63 @@ class _IndexJoinStep:
         params = ctx.params
         left_outer = self.kind == "left"
         visible = table.is_visible
-        for left in rows:
-            matched = False
-            key = tuple(fn(left, params) for fn in self.key_fns)
-            ctx.count("index_probes")
-            if not any(v is None for v in key):  # col = NULL never matches
-                for rowid in index.lookup(key):
-                    right = table.get(rowid)
-                    if right is None or not visible(right):
-                        continue
-                    ctx.count("rows_scanned")
-                    combined = left + right
-                    if residual is None or residual(combined, params):
-                        matched = True
-                        yield combined
-            if left_outer and not matched:
-                yield left + self._null_pad
+        emitted = 0
+        try:
+            for left in rows:
+                matched = False
+                key = tuple(fn(left, params) for fn in self.key_fns)
+                ctx.count("index_probes")
+                if not any(v is None for v in key):  # col = NULL never matches
+                    for rowid in index.lookup(key):
+                        right = table.get(rowid)
+                        if right is None or not visible(right):
+                            continue
+                        ctx.count("rows_scanned")
+                        combined = left + right
+                        if residual is None or residual(combined, params):
+                            matched = True
+                            emitted += 1
+                            yield combined
+                if left_outer and not matched:
+                    emitted += 1
+                    yield left + self._null_pad
+        finally:
+            if ctx.explain_counts is not None:
+                ctx.explain_counts[self.op_id] = (
+                    ctx.explain_counts.get(self.op_id, 0) + emitted
+                )
 
 
-def _plan_join_step(join, right: Table, right_offset: int, scope: Scope):
-    """Compile one join, preferring an index-nested-loop over the inner table.
+JoinStep = (
+    _JoinStep | _IndexJoinStep | HashJoinStep | MergeJoinStep | BlockNestedLoopStep
+)
 
-    An ON conjunct drives an index when it has the shape
-    ``inner_column = expr-over-earlier-tables``: the inner side resolves
-    into the just-added source, and every column the other side references
-    resolves to a slot *before* it (so the key is computable from the outer
-    row alone).  The widest inner-table equality index covered by such
-    conjuncts wins; everything else stays in the residual ON predicate.
+
+def _plan_join_step(
+    join,
+    right: Table,
+    right_offset: int,
+    scope: Scope,
+    env: _PlanEnv,
+    outer_est: float,
+) -> tuple[Any, float, dict[str, Any]]:
+    """Compile one join step, choosing the algorithm by estimated cost.
+
+    An ON conjunct is *equi* when it has the shape ``inner_column =
+    expr-over-earlier-tables``: the inner side resolves into the
+    just-added source, and every column the other side references
+    resolves to a slot *before* it (so the key is computable from the
+    outer row alone).  Equi conjuncts can drive an index-nested-loop
+    (via an inner-table equality index), a hash join, or a sort-merge
+    join; everything else stays in the residual predicate.  Without any
+    equi conjunct the block-nested-loop fallback evaluates the full ON
+    clause per pair.
+
+    Returns ``(step, estimated_output_rows, plan_info_node)``.
     """
     arity = right.schema.arity()
-    if join.on is None:
-        return _JoinStep(right.name, arity, None, join.kind)
+    inner_live = right.row_count()
+    kind = join.kind
 
     def slot_of(expr) -> Optional[int]:
         if not isinstance(expr, ColumnRef):
@@ -481,19 +719,126 @@ def _plan_join_step(join, right: Table, right_offset: int, scope: Scope):
             break
 
     index = _choose_equality_index(right, list(eq_by_col))
-    if index is None:
-        return _JoinStep(right.name, arity, predicate(compile_expr(join.on, scope)), join.kind)
 
-    consumed = set()
-    key_fns = []
-    for col in index.key_columns:
-        pos, outer_expr = eq_by_col[col]
-        key_fns.append(compile_expr(outer_expr, scope))
-        consumed.add(pos)
-    residual = combine_conjuncts(
-        [c for i, c in enumerate(conjuncts) if i not in consumed], scope
+    # -- cardinality estimates ------------------------------------------------
+    eq_cols = list(eq_by_col)
+    eq_sel = 1.0
+    for col in eq_cols:
+        eq_sel *= env.stats.eq_selectivity(right, col)
+    if eq_cols:
+        match_est = max(inner_live * eq_sel, 1.0 if inner_live else 0.0)
+        residual_count = len(conjuncts) - len(eq_cols)
+    else:
+        match_est = inner_live * (_OTHER_SELECTIVITY if conjuncts else 1.0)
+        residual_count = 0
+    est_out = outer_est * match_est * (_OTHER_SELECTIVITY ** max(residual_count, 0))
+    if kind == "left":
+        est_out = max(est_out, outer_est)
+
+    # -- candidate costs ------------------------------------------------------
+    considered: dict[str, float] = {}
+    if index is not None:
+        idx_match = 1.0 if index.unique else max(
+            inner_live * eq_sel, 1.0 if inner_live else 0.0
+        )
+        considered["inl"] = outer_est * (_COST_PROBE + idx_match * _COST_ROW)
+    if eq_cols:
+        build = min(outer_est, float(inner_live))
+        probe = max(outer_est, float(inner_live))
+        considered["hash"] = (
+            _COST_BUILD_ROW * build + _COST_PROBE * probe + est_out * _COST_PAIR
+        )
+        considered["merge"] = (
+            _sort_cost(outer_est) + _sort_cost(inner_live)
+            + (outer_est + inner_live) * _COST_ROW + est_out * _COST_PAIR
+        )
+    considered["bnl"] = (
+        inner_live * _COST_ROW + outer_est * inner_live * _COST_PAIR
     )
-    return _IndexJoinStep(right.name, arity, index.name, key_fns, residual, join.kind)
+
+    # -- constructors ---------------------------------------------------------
+    def make_inl():
+        consumed = set()
+        key_fns = []
+        for col in index.key_columns:
+            pos, outer_expr = eq_by_col[col]
+            key_fns.append(compile_expr(outer_expr, scope))
+            consumed.add(pos)
+        residual = combine_conjuncts(
+            [c for i, c in enumerate(conjuncts) if i not in consumed], scope
+        )
+        return _IndexJoinStep(right.name, arity, index.name, key_fns, residual, kind)
+
+    def make_equi(cls, **kw):
+        consumed = set()
+        outer_key_fns = []
+        inner_key_slots = []
+        for col, (pos, outer_expr) in eq_by_col.items():
+            outer_key_fns.append(compile_expr(outer_expr, scope))
+            inner_key_slots.append(right.schema.position(col))
+            consumed.add(pos)
+        residual = combine_conjuncts(
+            [c for i, c in enumerate(conjuncts) if i not in consumed], scope
+        )
+        return cls(right.name, arity, outer_key_fns, inner_key_slots, residual, kind, **kw)
+
+    def make_bnl():
+        pred = compile_predicate(join.on, scope) if join.on is not None else None
+        return BlockNestedLoopStep(right.name, arity, pred, kind)
+
+    def make_legacy():
+        pred = compile_predicate(join.on, scope) if join.on is not None else None
+        return _JoinStep(right.name, arity, pred, kind)
+
+    build_inner = inner_live <= outer_est
+
+    # -- choice ---------------------------------------------------------------
+    forced = env.force_join
+    if forced is not None:
+        if forced == "hash" and eq_cols:
+            algo = "hash"
+        elif forced == "merge" and eq_cols:
+            algo = "merge"
+        elif forced == "inl":
+            algo = "inl" if index is not None else "nested"
+        else:  # bnl, or an infeasible hash/merge force (non-equi join)
+            algo = "bnl"
+    else:
+        # tie order: inl < hash < merge < bnl (most index-exploiting first)
+        order = {"inl": 0, "hash": 1, "merge": 2, "bnl": 3}
+        algo = min(considered, key=lambda a: (considered[a], order[a]))
+
+    if algo == "inl":
+        step = make_inl()
+        op = "IndexNestedLoopJoin"
+    elif algo == "hash":
+        step = make_equi(HashJoinStep, build_inner=build_inner)
+        op = "HashJoin"
+    elif algo == "merge":
+        step = make_equi(MergeJoinStep)
+        op = "MergeJoin"
+    elif algo == "nested":
+        step = make_legacy()
+        op = "NestedLoopJoin"
+    else:
+        step = make_bnl()
+        op = "BlockNestedLoopJoin"
+
+    info: dict[str, Any] = {
+        "op": op,
+        "table": right.name,
+        "join_kind": kind,
+        "est_rows": int(round(est_out)),
+        "cost": round(considered.get(algo, 0.0), 1),
+        "considered": {a: round(c, 1) for a, c in sorted(considered.items())},
+    }
+    if forced is not None:
+        info["forced"] = forced
+    if algo == "inl":
+        info["index"] = index.name
+    if algo == "hash":
+        info["build_side"] = "inner" if build_inner else "outer"
+    return step, est_out, info
 
 
 class _AggSpec:
@@ -610,7 +955,7 @@ def _compile_limit(expr: Optional[Expr], what: str):
     return bound
 
 
-def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
+def _plan_select(stmt: Select, catalog: Catalog, sql: str, env: _PlanEnv) -> PreparedStatement:
     param_count = max_param_index(stmt)
 
     # SELECT without FROM: evaluate the items once against an empty row.
@@ -622,7 +967,7 @@ def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
         names = tuple(_output_name(item, i) for i, item in enumerate(stmt.items))
         fns = [compile_expr(item.expr, _VALUE_SCOPE) for item in stmt.items]
         where_pred = (
-            predicate(compile_expr(stmt.where, _VALUE_SCOPE))
+            compile_predicate(stmt.where, _VALUE_SCOPE)
             if stmt.where is not None
             else None
         )
@@ -643,7 +988,10 @@ def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
                 out = out[: const_limit(params)]
             return ResultSet(names, out)
 
-        return PreparedStatement(sql, "select", param_count, run_const, columns=names)
+        plan_info = {"kind": "select", "scan": None, "estimated_rows": 1}
+        return PreparedStatement(
+            sql, "select", param_count, run_const, columns=names, plan_info=plan_info
+        )
 
     # -- resolve FROM sources ------------------------------------------------
     scope = Scope()
@@ -652,17 +1000,17 @@ def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
     scope.add_source(base_binding, base_table.schema)
     base_arity = base_table.schema.arity()
 
-    join_steps: list[_JoinStep | _IndexJoinStep] = []
+    join_specs: list[tuple] = []
     for join in stmt.joins:
         right = catalog.table(join.table.name)
         right_offset = scope.add_source(join.table.binding, right.schema)
         if join.on is None and join.kind == "inner":
             raise PlanningError("INNER JOIN requires an ON condition")
-        join_steps.append(_plan_join_step(join, right, right_offset, scope))
+        join_specs.append((join, right, right_offset))
 
     # -- WHERE: push base-table conjuncts into the scan ----------------------
     conjuncts = split_conjuncts(stmt.where)
-    if join_steps:
+    if join_specs:
         base_only, post_join = [], []
         for c in conjuncts:
             if all(
@@ -683,8 +1031,23 @@ def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
     ):
         raise PlanningError("aggregates are not allowed in WHERE")
 
-    scan = build_scan(None, base_table, scope, base_arity, extra_conjuncts=base_only)
+    scan, est, scan_info = _build_scan_costed(
+        None, base_table, scope, base_arity, env, extra_conjuncts=base_only
+    )
+    scan.op_id = 0
+    scan_info["op_id"] = 0
+
+    join_steps = []
+    join_infos: list[dict[str, Any]] = []
+    for op_id, (join, right, right_offset) in enumerate(join_specs, start=1):
+        step, est, jinfo = _plan_join_step(join, right, right_offset, scope, env, est)
+        step.op_id = op_id
+        jinfo["op_id"] = op_id
+        join_steps.append(step)
+        join_infos.append(jinfo)
+
     post_pred = combine_conjuncts(post_join, scope)
+    est *= _OTHER_SELECTIVITY ** len(post_join)
 
     # -- grouping / aggregation ---------------------------------------------
     agg_exprs: list[Expr] = [item.expr for item in stmt.items if not item.star]
@@ -718,10 +1081,15 @@ def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
         def over_group(expr: Expr, what: str) -> Compiled:
             return compile_expr(_rewrite_grouped(expr, mapping, scope, what), _VALUE_SCOPE)
 
+        def over_group_pred(expr: Expr, what: str):
+            return compile_predicate(
+                _rewrite_grouped(expr, mapping, scope, what), _VALUE_SCOPE
+            )
+
         out_names = tuple(_output_name(item, i) for i, item in enumerate(stmt.items))
         out_fns = [over_group(item.expr, "select list") for item in stmt.items]
         having_pred = (
-            predicate(over_group(stmt.having, "HAVING")) if stmt.having is not None else None
+            over_group_pred(stmt.having, "HAVING") if stmt.having is not None else None
         )
         order_fns = _compile_order(stmt, out_names, lambda e: over_group(e, "ORDER BY"))
     else:
@@ -759,6 +1127,17 @@ def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
     offset_fn = _compile_limit(stmt.offset, "OFFSET")
     distinct = stmt.distinct
     descending = tuple(o.descending for o in stmt.order_by)
+
+    plan_info: dict[str, Any] = {
+        "kind": "select",
+        "scan": scan_info,
+        "joins": join_infos,
+        "estimated_rows": int(round(est)),
+        "grouped": grouped,
+        "distinct": distinct,
+        "order_by": bool(stmt.order_by),
+        "post_join_filter": len(post_join),
+    }
 
     def run(ctx: ExecutionContext) -> ResultSet:
         params = ctx.params
@@ -832,7 +1211,9 @@ def _plan_select(stmt: Select, catalog: Catalog, sql: str) -> PreparedStatement:
             out_rows = out_rows[: limit_fn(params)]
         return ResultSet(out_names, out_rows)
 
-    return PreparedStatement(sql, "select", param_count, run, columns=out_names)
+    return PreparedStatement(
+        sql, "select", param_count, run, columns=out_names, plan_info=plan_info
+    )
 
 
 def _compile_order(
@@ -875,7 +1256,7 @@ def _compile_order(
 # ---------------------------------------------------------------------------
 
 
-def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
+def _plan_insert(stmt: Insert, catalog: Catalog, sql: str, env: _PlanEnv) -> PreparedStatement:
     table = catalog.table(stmt.table.name)
     schema = table.schema
     param_count = max_param_index(stmt)
@@ -890,6 +1271,7 @@ def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
         target_cols = schema.column_names()
 
     table_name = table.name
+    plan_info = {"kind": "insert", "table": table_name}
     # Plan-time column permutation: target column i of the INSERT lands in
     # row slot ``slots[i]``; unmentioned columns take their default.  The
     # hot path then builds each full-width row with list indexing only —
@@ -899,7 +1281,7 @@ def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
     defaults = tuple(col.default for col in schema.columns)
 
     if stmt.select is not None:
-        inner = _plan_select(stmt.select, catalog, sql)
+        inner = _plan_select(stmt.select, catalog, sql, env)
         if len(inner.columns) != len(target_cols):
             raise PlanningError(
                 f"INSERT ... SELECT arity mismatch: {len(target_cols)} target "
@@ -918,7 +1300,10 @@ def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
             n = len(ctx.insert_many(t, full_rows))
             return ResultSet((), [], rowcount=n)
 
-        return PreparedStatement(sql, "insert", param_count, run_insert_select)
+        plan_info["select"] = inner.plan_info
+        return PreparedStatement(
+            sql, "insert", param_count, run_insert_select, plan_info=plan_info
+        )
 
     row_fns: list[list[Compiled]] = []
     for row in stmt.rows:
@@ -988,7 +1373,7 @@ def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
         return len(ctx.insert_many(t, full_rows))
 
     return PreparedStatement(sql, "insert", param_count, run_insert,
-                             run_many=run_insert_many)
+                             run_many=run_insert_many, plan_info=plan_info)
 
 
 # ---------------------------------------------------------------------------
@@ -996,14 +1381,18 @@ def _plan_insert(stmt: Insert, catalog: Catalog, sql: str) -> PreparedStatement:
 # ---------------------------------------------------------------------------
 
 
-def _plan_update(stmt: Update, catalog: Catalog, sql: str) -> PreparedStatement:
+def _plan_update(stmt: Update, catalog: Catalog, sql: str, env: _PlanEnv) -> PreparedStatement:
     table = catalog.table(stmt.table.name)
     schema = table.schema
     param_count = max_param_index(stmt)
 
     scope = Scope()
     scope.add_source(stmt.table.binding, schema)
-    scan = build_scan(stmt.where, table, scope, schema.arity())
+    scan, est, scan_info = _build_scan_costed(
+        stmt.where, table, scope, schema.arity(), env
+    )
+    scan.op_id = 0
+    scan_info["op_id"] = 0
 
     assignments: list[tuple[int, Compiled]] = []
     seen_cols: set[int] = set()
@@ -1015,6 +1404,12 @@ def _plan_update(stmt: Update, catalog: Catalog, sql: str) -> PreparedStatement:
         assignments.append((pos, compile_expr(a.value, scope)))
 
     table_name = table.name
+    plan_info = {
+        "kind": "update",
+        "table": table_name,
+        "scan": scan_info,
+        "estimated_rows": int(round(est)),
+    }
 
     def run(ctx: ExecutionContext) -> ResultSet:
         t = ctx.write_table(table_name)
@@ -1031,18 +1426,28 @@ def _plan_update(stmt: Update, catalog: Catalog, sql: str) -> PreparedStatement:
             n += 1
         return ResultSet((), [], rowcount=n)
 
-    return PreparedStatement(sql, "update", param_count, run)
+    return PreparedStatement(sql, "update", param_count, run, plan_info=plan_info)
 
 
-def _plan_delete(stmt: Delete, catalog: Catalog, sql: str) -> PreparedStatement:
+def _plan_delete(stmt: Delete, catalog: Catalog, sql: str, env: _PlanEnv) -> PreparedStatement:
     table = catalog.table(stmt.table.name)
     schema = table.schema
     param_count = max_param_index(stmt)
 
     scope = Scope()
     scope.add_source(stmt.table.binding, schema)
-    scan = build_scan(stmt.where, table, scope, schema.arity())
+    scan, est, scan_info = _build_scan_costed(
+        stmt.where, table, scope, schema.arity(), env
+    )
+    scan.op_id = 0
+    scan_info["op_id"] = 0
     table_name = table.name
+    plan_info = {
+        "kind": "delete",
+        "table": table_name,
+        "scan": scan_info,
+        "estimated_rows": int(round(est)),
+    }
 
     def run(ctx: ExecutionContext) -> ResultSet:
         t = ctx.write_table(table_name)
@@ -1054,4 +1459,4 @@ def _plan_delete(stmt: Delete, catalog: Catalog, sql: str) -> PreparedStatement:
             n += 1
         return ResultSet((), [], rowcount=n)
 
-    return PreparedStatement(sql, "delete", param_count, run)
+    return PreparedStatement(sql, "delete", param_count, run, plan_info=plan_info)
