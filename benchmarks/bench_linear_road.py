@@ -1,0 +1,308 @@
+"""Linear Road: §4.6 comparison-system shapes and the §4.7 scaling model.
+
+Three measurements, all on the deterministic simulated clock (byte-for-
+byte reproducible for a given ``--seed``):
+
+1. **§4.6 relative throughput.**  The Linear Road dataflow runs on a
+   single S-Store engine under the calibrated cost table; the same
+   script is then priced through closed-form models of the two
+   comparison systems, using the comparison-cost entries the
+   :class:`~repro.common.clock.CostModel` carries for exactly this
+   purpose:
+
+   - *Spark Streaming* (micro-batch): every batch pays scheduling
+     (``spark_batch_overhead_us``), per-stage task launch + RDD
+     bookkeeping, and a state-store round trip per stage for
+     exactly-once state (``kv_rtt_us``); every row pays
+     ``spark_row_us`` per stage plus ``kv_op_us`` per state update.
+   - *Storm/Trident* (tuple-at-a-time): every row pays emit + ack per
+     hop (``storm_emit_us``/``storm_ack_us``) plus KV state updates;
+     exactly-once forces Trident batching — ``trident_batch_us`` and a
+     state flush round trip per batch.
+
+   Both models run both dataflow stages over every position report —
+   generous to the baselines (the real stage 2 only sees toll rows).
+   The paper's qualitative shape is the threshold: under the
+   exactly-once + ordering constraint S-Store's throughput must beat
+   both simulated baselines.
+
+2. **§4.7 cross-partition scaling.**  The same workload runs on
+   ``PartitionedDatabase`` (inline workers — the measurement is
+   simulated time, not wall-clock) at 1, 2, and 4 partitions with
+   round-robin x-way routing (the paper's distribution).  Parallel
+   simulated time is the slowest partition's clock delta; measured
+   speedup, discounted by the paper's per-partition coordination
+   overhead ``(1 - partition_overhead_frac)^(n-1)``, must track the
+   model curve ``n * (1 - f)^(n-1)``.
+
+3. **Conformance smoke.**  The inline-partitioned digest must equal the
+   single-engine reference (the full matrix lives in
+   ``tests/test_workloads.py``; this keeps divergence failing the
+   benchmark job too).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.clock import CostModel  # noqa: E402
+from repro.engine import Database  # noqa: E402
+from repro.partition import PartitionInfo, PartitionedDatabase  # noqa: E402
+from repro.workloads import LinearRoadScenario, run_shape  # noqa: E402
+from repro.workloads.scenario import Scale  # noqa: E402
+
+DEFAULT_SEED = 20260808
+XWAYS = 4  # divisible by every partition count measured
+DAG_STAGES = 2  # position -> tolls -> accounts
+STATE_OPS_PER_ROW = 4  # vehicle, segment stats, accident check, account
+
+
+def scenario_for(seed: int) -> LinearRoadScenario:
+    return LinearRoadScenario(xways=XWAYS)
+
+
+def make_ops(seed: int, scale: Scale):
+    return scenario_for(seed).ops(seed, scale)
+
+
+# ---------------------------------------------------------------------------
+# §4.6: S-Store measured vs comparison-system cost models
+# ---------------------------------------------------------------------------
+
+
+def run_sstore_single(seed: int, scale: Scale) -> dict:
+    scenario = scenario_for(seed)
+    ops = make_ops(seed, scale)
+    warmup, measured = ops[:1], ops[1:]
+    rows = sum(len(op.rows) for op in measured)
+    db = Database(
+        cost=CostModel.calibrated(),
+        bootstrap=lambda db: scenario.deploy(db, PartitionInfo(0, 1)),
+    )
+    try:
+        for op in warmup:  # compile plans outside the measurement window
+            db.ingest(op.target, [list(r) for r in op.rows])
+        start = db.stats("sim_time_us")
+        for op in measured:
+            db.ingest(op.target, [list(r) for r in op.rows])
+        db.drain()
+        elapsed = db.stats("sim_time_us") - start
+    finally:
+        db.close()
+    return {
+        "rows": rows,
+        "batches": len(measured),
+        "sim_us": elapsed,
+        "rows_per_sec": rows / (elapsed / 1e6),
+    }
+
+
+def model_spark(cost: CostModel, batches: int, rows: int) -> dict:
+    per_batch = batches * (
+        cost.spark_batch_overhead_us
+        + DAG_STAGES * (cost.spark_task_us + cost.rdd_create_us + cost.kv_rtt_us)
+    )
+    per_row = rows * (
+        DAG_STAGES * cost.spark_row_us + STATE_OPS_PER_ROW * cost.kv_op_us
+    )
+    us = per_batch + per_row
+    return {"sim_us": us, "rows_per_sec": rows / (us / 1e6)}
+
+
+def model_storm(cost: CostModel, batches: int, rows: int) -> dict:
+    per_batch = batches * (cost.trident_batch_us + DAG_STAGES * cost.kv_rtt_us)
+    per_row = rows * (
+        DAG_STAGES * (cost.storm_emit_us + cost.storm_ack_us)
+        + STATE_OPS_PER_ROW * cost.kv_op_us
+    )
+    us = per_batch + per_row
+    return {"sim_us": us, "rows_per_sec": rows / (us / 1e6)}
+
+
+def comparison_4_6(seed: int, scale: Scale) -> dict:
+    cost = CostModel.calibrated()
+    sstore = run_sstore_single(seed, scale)
+    spark = model_spark(cost, sstore["batches"], sstore["rows"])
+    storm = model_storm(cost, sstore["batches"], sstore["rows"])
+    return {
+        "sstore": sstore,
+        "spark_streaming": spark,
+        "storm_trident": storm,
+        "sstore_vs_spark": sstore["rows_per_sec"] / spark["rows_per_sec"],
+        "sstore_vs_storm": sstore["rows_per_sec"] / storm["rows_per_sec"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# §4.7: cross-partition scaling against the overhead model
+# ---------------------------------------------------------------------------
+
+
+def run_partitioned(seed: int, scale: Scale, n: int) -> float:
+    """Slowest partition's simulated-clock delta for the measured window."""
+    scenario = scenario_for(seed)
+    ops = make_ops(seed, scale)
+    warmup, measured = ops[:1], ops[1:]
+    pdb = PartitionedDatabase(
+        n,
+        scenario.deploy,
+        partition_keys=scenario.partition_keys,
+        mode="round_robin",  # xway % n — the paper's x-way distribution
+        workers="inline",
+    )
+    try:
+        for op in warmup:
+            pdb.ingest(op.target, [list(r) for r in op.rows])
+        pdb.drain()
+        start = [p["sim_time_us"] for p in pdb.stats()["partitions"]]
+        for op in measured:
+            pdb.ingest(op.target, [list(r) for r in op.rows])
+        pdb.drain()
+        end = [p["sim_time_us"] for p in pdb.stats()["partitions"]]
+        return max(e - s for s, e in zip(start, end))
+    finally:
+        pdb.close()
+
+
+def scaling_4_7(seed: int, scale: Scale, counts: list[int]) -> dict:
+    frac = CostModel.calibrated().partition_overhead_frac
+    serial_us = run_partitioned(seed, scale, 1)
+    points = {}
+    for n in counts:
+        if n == 1:
+            points["1"] = {"parallel_us": serial_us, "speedup": 1.0,
+                           "model_speedup": 1.0, "rel_err": 0.0}
+            continue
+        parallel_us = run_partitioned(seed, scale, n)
+        discount = (1.0 - frac) ** (n - 1)
+        speedup = serial_us / parallel_us * discount
+        model = n * discount
+        points[str(n)] = {
+            "parallel_us": parallel_us,
+            "speedup": speedup,
+            "model_speedup": model,
+            "rel_err": abs(speedup - model) / model,
+        }
+    return {"serial_us": serial_us, "overhead_frac": frac, "points": points}
+
+
+# ---------------------------------------------------------------------------
+# Conformance smoke: partitioned digest == single-engine reference
+# ---------------------------------------------------------------------------
+
+
+def conformance_smoke(seed: int, scale: Scale) -> dict:
+    scenario = scenario_for(seed)
+    ops = make_ops(seed, scale)
+    ref = run_shape(scenario, ops, "single")
+    got = run_shape(scenario, ops, "inline", partitions=2)
+    return {
+        "reference_digest": ref.digest,
+        "partitioned_digest": got.digest,
+        "digests_equal": ref.digest == got.digest,
+        "violations": ref.violations + got.violations,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def run_benchmarks(seed: int, scale: Scale, counts: list[int]) -> dict:
+    report = {
+        "meta": {
+            "benchmark": "bench_linear_road",
+            "seed": seed,
+            "batches": scale.batches,
+            "rows_per_batch": scale.rows_per_batch,
+            "partition_counts": counts,
+        },
+        "comparison_4_6": comparison_4_6(seed, scale),
+        "scaling_4_7": scaling_4_7(seed, scale, counts),
+        "conformance": conformance_smoke(seed, scale),
+    }
+    return report
+
+
+def check_thresholds(report: dict) -> list[str]:
+    failures: list[str] = []
+    c = report["comparison_4_6"]
+    if c["sstore_vs_spark"] < 1.0:
+        failures.append(
+            f"§4.6 shape lost: S-Store {c['sstore']['rows_per_sec']:.0f} rows/s "
+            f"< simulated Spark Streaming {c['spark_streaming']['rows_per_sec']:.0f}"
+        )
+    if c["sstore_vs_storm"] < 1.0:
+        failures.append(
+            f"§4.6 shape lost: S-Store {c['sstore']['rows_per_sec']:.0f} rows/s "
+            f"< simulated Storm/Trident {c['storm_trident']['rows_per_sec']:.0f}"
+        )
+    s = report["scaling_4_7"]
+    for n, point in s["points"].items():
+        if point["rel_err"] > 0.35:
+            failures.append(
+                f"§4.7 model miss at {n} partitions: overhead-discounted "
+                f"speedup {point['speedup']:.2f} vs model "
+                f"{point['model_speedup']:.2f} ({point['rel_err']:.0%} off)"
+            )
+    top = max(int(n) for n in s["points"])
+    if top >= 2 and s["points"][str(top)]["speedup"] <= 1.2:
+        failures.append(
+            f"no partition scaling: speedup {s['points'][str(top)]['speedup']:.2f} "
+            f"at {top} partitions"
+        )
+    conf = report["conformance"]
+    if not conf["digests_equal"]:
+        failures.append("cross-engine divergence: partitioned digest != reference")
+    if conf["violations"]:
+        failures.append(f"invariant violations: {conf['violations']}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="generator seed (runs are reproducible per seed)")
+    parser.add_argument("--batches", type=int, default=None,
+                        help="override input batch count")
+    parser.add_argument("--rows-per-batch", type=int, default=None,
+                        help="override rows per batch")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized inputs and partition counts")
+    parser.add_argument("--out", type=Path, help="write the JSON report here")
+    parser.add_argument("--no-check", action="store_true",
+                        help="emit the report without threshold enforcement")
+    args = parser.parse_args(argv)
+
+    scale = Scale(batches=12, rows_per_batch=40) if args.smoke else Scale(
+        batches=60, rows_per_batch=80
+    )
+    if args.batches is not None:
+        scale = Scale(batches=args.batches, rows_per_batch=scale.rows_per_batch)
+    if args.rows_per_batch is not None:
+        scale = Scale(batches=scale.batches, rows_per_batch=args.rows_per_batch)
+    counts = [1, 2] if args.smoke else [1, 2, 4]
+
+    report = run_benchmarks(args.seed, scale, counts)
+    failures = [] if args.no_check else check_thresholds(report)
+    report["failures"] = failures
+
+    print(json.dumps(report, indent=2))
+    if args.out:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if failures:
+        print("\nTHRESHOLD FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Workload scenarios and the cross-engine conformance harness.
+
+Each scenario (Linear Road, fraud detection, sessionized leaderboard,
+high-abort contention) packages a deployment, a seeded deterministic
+input script, and invariant checks.  ``conformance`` runs the same
+script against every engine shape — single ``Database``, partitioned
+(inline and process workers), served over TCP, and crash-then-recover —
+and compares final-state digests against the single-engine reference.
+"""
+
+from repro.workloads.conformance import (
+    ALL_SHAPES,
+    RunResult,
+    run_shape,
+    state_digest,
+)
+from repro.workloads.contention import ContentionScenario
+from repro.workloads.fraud import FraudScenario
+from repro.workloads.gen import Rng
+from repro.workloads.leaderboard import LeaderboardScenario
+from repro.workloads.linear_road import LinearRoadScenario
+from repro.workloads.scenario import Op, Scenario
+
+ALL_SCENARIOS = (
+    LinearRoadScenario,
+    FraudScenario,
+    LeaderboardScenario,
+    ContentionScenario,
+)
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "ALL_SHAPES",
+    "ContentionScenario",
+    "FraudScenario",
+    "LeaderboardScenario",
+    "LinearRoadScenario",
+    "Op",
+    "Rng",
+    "RunResult",
+    "Scenario",
+    "run_shape",
+    "state_digest",
+]

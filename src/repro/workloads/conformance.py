@@ -1,0 +1,254 @@
+"""Cross-engine conformance: one script, five engine shapes, one digest.
+
+The harness replays a scenario's deterministic op script against each
+shape and reduces the final contents of the scenario's output tables to
+a SHA-256 digest over canonical JSON (rows sorted, tuples normalized).
+The single-``Database`` run is the reference; any digest divergence, or
+any scenario invariant violation, is an engine bug by definition —
+ordering, exactly-once delivery, undo on abort, routing, the wire
+protocol, and recovery replay all funnel into this one equality.
+
+Shapes:
+
+- ``single``      — one plain :class:`~repro.engine.Database`
+- ``inline``      — :class:`PartitionedDatabase` with in-process workers
+- ``process``     — :class:`PartitionedDatabase` with forked workers
+- ``served``      — a single engine behind the asyncio TCP server,
+  driven through :class:`~repro.server.ReproClient`
+- ``recover``     — a durable single engine crashed (abandoned) halfway
+  through the script after ``flush_log``, reopened with weak recovery,
+  then fed the rest of the script
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.common.errors import TransactionAborted
+from repro.engine import Database
+from repro.partition import PartitionInfo, PartitionedDatabase
+from repro.server import ReproClient, ReproServer
+from repro.workloads.scenario import Op, Scenario
+
+ALL_SHAPES = ("single", "inline", "process", "served", "recover")
+
+
+@dataclass
+class RunResult:
+    shape: str
+    digest: str
+    tables: dict
+    aborts: int
+    violations: list
+
+
+def _norm_rows(rows) -> list[tuple]:
+    return [tuple(r) for r in rows]
+
+
+# ---------------------------------------------------------------------------
+# Engine-shape facades: the lowest common denominator the script needs
+# ---------------------------------------------------------------------------
+
+
+class _SingleFacade:
+    def __init__(self, db: Database):
+        self.db = db
+
+    def ingest(self, stream, rows):
+        self.db.ingest(stream, rows)
+
+    def call(self, proc, args, key):
+        self.db.call(proc, *args)  # one partition owns everything
+
+    def drain(self):
+        self.db.drain()
+
+    def rows(self, sql) -> list[tuple]:
+        return _norm_rows(self.db.execute(sql).rows)
+
+    def close(self):
+        self.db.close()
+
+
+class _PartitionedFacade:
+    def __init__(self, pdb: PartitionedDatabase):
+        self.pdb = pdb
+
+    def ingest(self, stream, rows):
+        self.pdb.ingest(stream, rows)
+
+    def call(self, proc, args, key):
+        self.pdb.call(proc, *args, key=key)
+
+    def drain(self):
+        self.pdb.drain()
+
+    def rows(self, sql) -> list[tuple]:
+        # unkeyed SELECT fans out and unions partition results
+        return _norm_rows(self.pdb.execute(sql).rows)
+
+    def close(self):
+        self.pdb.close()
+
+
+class _ServedFacade:
+    """A single engine behind the TCP server; owns server + engine."""
+
+    def __init__(self, db: Database):
+        self.server = ReproServer(db)
+        self.server.__enter__()
+        self.client = ReproClient(*self.server.address)
+
+    def ingest(self, stream, rows):
+        self.client.ingest(stream, rows)
+
+    def call(self, proc, args, key):
+        self.client.call(proc, *args, key=key)
+
+    def drain(self):
+        self.client.drain()
+
+    def rows(self, sql) -> list[tuple]:
+        return _norm_rows(self.client.execute(sql).rows)
+
+    def close(self):
+        self.client.close()
+        self.server.__exit__(None, None, None)
+
+
+# ---------------------------------------------------------------------------
+# Script execution and digests
+# ---------------------------------------------------------------------------
+
+
+def run_ops(facade, ops: Sequence[Op]) -> int:
+    """Replay the script; returns the count of expected aborts observed.
+
+    An abort on an op not marked ``may_abort`` propagates — determinism
+    violations must fail loudly, not be absorbed here.
+    """
+    aborts = 0
+    for op in ops:
+        if op.kind == "ingest":
+            facade.ingest(op.target, [list(r) for r in op.rows])
+        else:
+            try:
+                facade.call(op.target, op.args, op.key)
+            except TransactionAborted:
+                if not op.may_abort:
+                    raise
+                aborts += 1
+    facade.drain()
+    return aborts
+
+
+def state_digest(read: Callable[[str], list[tuple]], tables: Sequence[str]):
+    """SHA-256 over the canonical JSON of each table's sorted rows."""
+    snap = {t: sorted(read(f"SELECT * FROM {t}")) for t in tables}
+    blob = json.dumps(snap, sort_keys=True, separators=(",", ":"), default=list)
+    return hashlib.sha256(blob.encode()).hexdigest(), snap
+
+
+def _finish(scenario: Scenario, facade, ops, aborts, shape) -> RunResult:
+    digest, snap = state_digest(facade.rows, scenario.output_tables)
+    violations = scenario.check(facade.rows, ops, aborts)
+    return RunResult(
+        shape=shape, digest=digest, tables=snap, aborts=aborts, violations=violations
+    )
+
+
+def _single_db(scenario: Scenario, **kwargs) -> Database:
+    return Database(
+        bootstrap=lambda db: scenario.deploy(db, PartitionInfo(0, 1)), **kwargs
+    )
+
+
+def run_shape(
+    scenario: Scenario,
+    ops: Sequence[Op],
+    shape: str,
+    *,
+    partitions: int = 2,
+    tmp_path=None,
+    crash_at: Optional[int] = None,
+    setup: Optional[Callable] = None,
+) -> RunResult:
+    """Run the script on one engine shape and return its :class:`RunResult`.
+
+    ``setup(engine)`` runs before any ops (e.g. to pin ``force_join``).
+    ``recover`` needs ``tmp_path``; ``crash_at`` overrides the default
+    midpoint crash boundary.
+    """
+    if shape == "single":
+        facade = _SingleFacade(_single_db(scenario))
+    elif shape in ("inline", "process"):
+        facade = _PartitionedFacade(
+            PartitionedDatabase(
+                partitions,
+                scenario.deploy,
+                partition_keys=scenario.partition_keys,
+                workers=shape,
+            )
+        )
+    elif shape == "served":
+        facade = _ServedFacade(_single_db(scenario))
+    elif shape == "recover":
+        return _run_recover(scenario, ops, tmp_path, crash_at, setup)
+    else:
+        raise ValueError(f"unknown engine shape {shape!r}")
+
+    try:
+        if setup is not None:
+            setup(facade)
+        aborts = run_ops(facade, ops)
+        return _finish(scenario, facade, ops, aborts, shape)
+    finally:
+        facade.close()
+
+
+def _run_recover(scenario, ops, tmp_path, crash_at, setup) -> RunResult:
+    if tmp_path is None:
+        raise ValueError("the recover shape needs tmp_path for its log directory")
+    d = str(tmp_path) + f"/conf-{scenario.name}"
+    cut = len(ops) // 2 if crash_at is None else crash_at
+    bootstrap = lambda db: scenario.deploy(db, PartitionInfo(0, 1))  # noqa: E731
+
+    db = Database(recovery_dir=d, recovery="weak", bootstrap=bootstrap)
+    facade = _SingleFacade(db)
+    if setup is not None:
+        setup(facade)
+    aborts = run_ops(facade, ops[:cut])
+    db.flush_log()
+    # crash: abandon the object — the on-disk log is the survivor
+
+    recovered = Database(recovery_dir=d, recovery="weak", bootstrap=bootstrap)
+    facade = _SingleFacade(recovered)
+    try:
+        if setup is not None:
+            setup(facade)
+        aborts += run_ops(facade, ops[cut:])
+        return _finish(scenario, facade, ops, aborts, "recover")
+    finally:
+        facade.close()
+
+
+def conformance_matrix(
+    scenario: Scenario,
+    ops: Sequence[Op],
+    shapes: Sequence[str] = ALL_SHAPES,
+    *,
+    partitions: int = 2,
+    tmp_path=None,
+) -> dict[str, RunResult]:
+    """Run every shape; callers assert all digests equal the single
+    reference and no shape reported violations."""
+    return {
+        shape: run_shape(
+            scenario, ops, shape, partitions=partitions, tmp_path=tmp_path
+        )
+        for shape in shapes
+    }

@@ -1,0 +1,130 @@
+"""High-abort contention: deposits stream in, withdrawals race them.
+
+Accounts are seeded with a small balance; a workflow applies deposit
+batches while the script fires keyed ``withdraw`` calls sized so a
+substantial fraction deterministically abort on insufficient funds
+(``ctx.abort`` → ``UserAbort``).  The harness counts expected aborts —
+the abort *count* must match across engine shapes, and rolled-back
+attempts must leave no trace in final balances.
+
+Partition-safe: every call and deposit is keyed by account id, and the
+script's per-account order is preserved by every shape (keyed calls are
+synchronous; pipelined ingests to the same partition stay FIFO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.common.types import ColumnType as T
+from repro.storage.schema import schema
+from repro.workloads.gen import Rng
+from repro.workloads.scenario import Op, Scale, Scenario, call, ingest
+
+START_BALANCE = 100
+
+
+def deploy(db, part) -> None:
+    db.create_table(
+        schema(
+            "acct",
+            ("id", T.INTEGER, False),
+            ("bal", T.BIGINT, False),
+            ("withdrawals", T.BIGINT, False),
+            primary_key=["id"],
+        )
+    )
+    db.executemany(
+        "INSERT INTO acct (id, bal, withdrawals) VALUES (?, ?, 0)",
+        ((a, START_BALANCE) for a in range(ContentionScenario.ACCOUNTS) if part.owns(a)),
+    )
+    db.create_stream(schema("deposits", ("id", T.INTEGER), ("amt", T.INTEGER)))
+
+    @db.register_procedure
+    def apply_deposit(ctx, batch):
+        for acct_id, amt in batch.rows:
+            ctx.execute(
+                "UPDATE acct SET bal = bal + ? WHERE id = ?", (amt, acct_id)
+            )
+
+    db.create_workflow("banking", [("deposits", "apply_deposit")])
+
+    @db.register_procedure
+    def withdraw(ctx, acct_id, amt):
+        row = ctx.query("SELECT bal FROM acct WHERE id = ?", (acct_id,))
+        bal = row[0]["bal"]
+        # dirty the row *before* deciding, so an abort exercises rollback
+        ctx.execute(
+            "UPDATE acct SET bal = ?, withdrawals = withdrawals + 1 WHERE id = ?",
+            (bal - amt, acct_id),
+        )
+        if bal < amt:
+            ctx.abort(f"insufficient funds: {bal} < {amt}")
+
+
+@dataclass
+class ContentionScenario(Scenario):
+    ACCOUNTS = 8
+
+    name: str = "contention"
+    partition_keys: dict = field(default_factory=lambda: {"deposits": "id"})
+    output_tables: tuple = ("acct",)
+
+    def deploy(self, db, part) -> None:
+        deploy(db, part)
+
+    def ops(self, seed: int, scale: Scale) -> list[Op]:
+        rng = Rng(seed)
+        script: list[Op] = []
+        for _ in range(scale.batches):
+            rows = [
+                (rng.randint(0, self.ACCOUNTS - 1), rng.randint(1, 30))
+                for _ in range(scale.rows_per_batch)
+            ]
+            script.append(ingest("deposits", rows))
+            # withdrawals sized around the typical balance so many abort
+            for _ in range(max(2, scale.rows_per_batch // 2)):
+                acct_id = rng.randint(0, self.ACCOUNTS - 1)
+                amt = rng.randint(40, 260)
+                script.append(call("withdraw", acct_id, amt, key=acct_id, may_abort=True))
+        return script
+
+    def replay(self, ops: Sequence[Op]) -> tuple[dict[int, tuple], int]:
+        """Pure-python oracle: final (bal, withdrawals) per account and the
+        number of aborted withdrawals, replaying the script in order."""
+        bal = {a: START_BALANCE for a in range(self.ACCOUNTS)}
+        taken = {a: 0 for a in range(self.ACCOUNTS)}
+        aborts = 0
+        for op in ops:
+            if op.kind == "ingest":
+                for acct_id, amt in op.rows:
+                    bal[acct_id] += amt
+            else:
+                acct_id, amt = op.args
+                if bal[acct_id] < amt:
+                    aborts += 1
+                else:
+                    bal[acct_id] -= amt
+                    taken[acct_id] += 1
+        return {a: (bal[a], taken[a]) for a in bal}, aborts
+
+    def check(
+        self,
+        read: Callable[[str], list[tuple]],
+        ops: Sequence[Op],
+        aborts: int,
+    ) -> list[str]:
+        bad: list[str] = []
+        want, want_aborts = self.replay(ops)
+        got = {a: (b, w) for a, b, w in read("SELECT id, bal, withdrawals FROM acct")}
+        if got != want:
+            diff = {a: (got.get(a), want.get(a)) for a in set(got) | set(want)
+                    if got.get(a) != want.get(a)}
+            bad.append(f"balances diverge (got, want): {diff}")
+        if aborts != want_aborts:
+            bad.append(f"abort count {aborts} != expected {want_aborts}")
+        for a, (b, _w) in got.items():
+            if b < 0:
+                bad.append(f"negative balance on account {a}: {b}")
+        return bad

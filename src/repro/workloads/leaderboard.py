@@ -1,0 +1,180 @@
+"""Sessionized leaderboard: one stream fanning out to two subscribers.
+
+Game events ``(player, t, pts)`` feed a workflow with *two* subscribed
+procedures — the PE-trigger fan-out shape: each committed batch fires
+both deliveries, each in its own transaction, exactly-once.  ``lb_tally``
+keeps running totals; ``lb_sessionize`` maintains gap-based sessions
+(a quiet period longer than ``GAP`` closes the session and folds it
+into the player's best score).  A third, *diagnostic* PE trigger counts
+firings into ``monitor`` — user PE triggers are at-most-once across
+crashes (paper §3.2.3), so that table is deliberately excluded from the
+conformance digest.
+
+Partition-safe: everything is keyed by ``player``; session arithmetic
+only ever compares one player's consecutive event times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.common.types import ColumnType as T
+from repro.storage.schema import schema
+from repro.workloads.gen import Rng
+from repro.workloads.scenario import Op, Scale, Scenario, ingest
+
+GAP = 3  # a gap > GAP ticks between a player's events closes the session
+
+
+def deploy(db, part) -> None:
+    db.create_stream(
+        schema(
+            "events",
+            ("player", T.INTEGER),
+            ("t", T.INTEGER),
+            ("pts", T.INTEGER),
+        )
+    )
+    db.create_table(
+        schema(
+            "totals",
+            ("player", T.INTEGER, False),
+            ("games", T.BIGINT, False),
+            ("points", T.BIGINT, False),
+            primary_key=["player"],
+        )
+    )
+    db.create_table(
+        schema(
+            "sessions",
+            ("player", T.INTEGER, False),
+            ("started", T.INTEGER, False),
+            ("last_t", T.INTEGER, False),
+            ("pts", T.BIGINT, False),
+            ("best", T.BIGINT, False),
+            ("closed", T.INTEGER, False),
+            primary_key=["player"],
+        )
+    )
+    db.create_table(
+        schema("monitor", ("id", T.INTEGER, False), ("fires", T.BIGINT, False),
+               primary_key=["id"])
+    )
+    db.execute("INSERT INTO monitor (id, fires) VALUES (0, 0)")
+
+    @db.register_procedure
+    def lb_tally(ctx, batch):
+        for player, _t, pts in batch.rows:
+            cur = ctx.query("SELECT games FROM totals WHERE player = ?", (player,))
+            if cur:
+                ctx.execute(
+                    "UPDATE totals SET games = games + 1, points = points + ? "
+                    "WHERE player = ?",
+                    (pts, player),
+                )
+            else:
+                ctx.execute(
+                    "INSERT INTO totals (player, games, points) VALUES (?, 1, ?)",
+                    (player, pts),
+                )
+
+    @db.register_procedure
+    def lb_sessionize(ctx, batch):
+        for player, t, pts in batch.rows:
+            cur = ctx.query(
+                "SELECT started, last_t, pts, best, closed FROM sessions "
+                "WHERE player = ?",
+                (player,),
+            )
+            if not cur:
+                ctx.execute(
+                    "INSERT INTO sessions (player, started, last_t, pts, best, closed) "
+                    "VALUES (?, ?, ?, ?, ?, 0)",
+                    (player, t, t, pts, pts),
+                )
+            elif t - cur[0]["last_t"] > GAP:
+                best = max(cur[0]["best"], cur[0]["pts"])
+                ctx.execute(
+                    "UPDATE sessions SET started = ?, last_t = ?, pts = ?, "
+                    "best = ?, closed = ? WHERE player = ?",
+                    (t, t, pts, max(best, pts), cur[0]["closed"] + 1, player),
+                )
+            else:
+                ctx.execute(
+                    "UPDATE sessions SET last_t = ?, pts = pts + ?, best = ? "
+                    "WHERE player = ?",
+                    (t, pts, max(cur[0]["best"], cur[0]["pts"] + pts), player),
+                )
+
+    db.create_workflow(
+        "leaderboard", [("events", "lb_tally"), ("events", "lb_sessionize")]
+    )
+
+    def monitor_fire(db, batch):
+        db.execute("UPDATE monitor SET fires = fires + 1 WHERE id = 0")
+
+    db.create_pe_trigger("lb_monitor", "events", monitor_fire)
+
+
+@dataclass
+class LeaderboardScenario(Scenario):
+    PLAYERS = 12
+
+    name: str = "leaderboard"
+    partition_keys: dict = field(default_factory=lambda: {"events": "player"})
+    # monitor is excluded: user PE triggers are at-most-once across crashes
+    output_tables: tuple = ("totals", "sessions")
+
+    def deploy(self, db, part) -> None:
+        deploy(db, part)
+
+    def ops(self, seed: int, scale: Scale) -> list[Op]:
+        rng = Rng(seed)
+        script: list[Op] = []
+        for tick in range(scale.batches):
+            rows = []
+            for _ in range(scale.rows_per_batch):
+                player = rng.randint(0, self.PLAYERS - 1)
+                # time advances with the batch; spread inside a wide tick so
+                # idle players accumulate > GAP gaps and close sessions
+                t = tick * (GAP + 2) + rng.randint(0, 1)
+                rows.append((player, t, rng.randint(1, 50)))
+            rows.sort(key=lambda r: (r[0], r[1]))  # per-player time-ordered
+            script.append(ingest("events", rows))
+        return script
+
+    def check(
+        self,
+        read: Callable[[str], list[tuple]],
+        ops: Sequence[Op],
+        aborts: int,
+    ) -> list[str]:
+        bad: list[str] = []
+        events = self.ingested_rows(ops, "events")
+        games: dict[int, int] = {}
+        points: dict[int, int] = {}
+        last_t: dict[int, int] = {}
+        for player, t, pts in events:
+            games[player] = games.get(player, 0) + 1
+            points[player] = points.get(player, 0) + pts
+            last_t[player] = max(last_t.get(player, t), t)
+
+        # exactly-once on the tally branch: per-player counts and sums
+        totals = {p: (g, s) for p, g, s in read("SELECT player, games, points FROM totals")}
+        for player in games:
+            if totals.get(player) != (games[player], points[player]):
+                bad.append(
+                    f"totals[{player}] = {totals.get(player)}, "
+                    f"want {(games[player], points[player])}"
+                )
+        if set(totals) != set(games):
+            bad.append(f"totals players {sorted(totals)} != {sorted(games)}")
+
+        # ordering + exactly-once on the sessionize branch
+        for player, _started, lt, _pts, _best, _closed in read(
+            "SELECT player, started, last_t, pts, best, closed FROM sessions"
+        ):
+            if lt != last_t.get(player):
+                bad.append(f"sessions[{player}].last_t = {lt}, want {last_t.get(player)}")
+        return bad

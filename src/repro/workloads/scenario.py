@@ -1,0 +1,113 @@
+"""Scenario contract for the cross-engine conformance harness.
+
+A scenario is three deterministic pieces:
+
+- ``deploy(db, part)`` — DDL + procedures + workflow + partition-owned
+  seed rows, written exactly like a ``PartitionedDatabase`` deployment
+  so the same function serves every engine shape (a single ``Database``
+  deploys with ``PartitionInfo(0, 1)``, which owns everything);
+- ``ops(seed, scale)`` — a seeded input script of :class:`Op` records
+  (atomic-batch ingests and keyed procedure calls) that the harness
+  replays identically against each shape;
+- ``check(read, ops, aborts)`` — invariant assertions over the final
+  state (ordering, exactly-once counts, conservation, join
+  correctness), returning a list of violation strings.
+
+Scenarios must be **partition-safe**: every effect a row has depends
+only on that row's partition key's state, never on batch ids or on the
+interleaving of other keys — because the partitioned shapes split each
+batch into per-partition sub-batches with independent batch-id
+sequences.  Outputs digested for conformance must therefore be plain
+tables (never resident stream/window contents, whose GC timing is
+shape-dependent) with NULL-free, integer/string-only rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+@dataclass(frozen=True)
+class Op:
+    """One step of a scenario's input script.
+
+    ``kind`` is ``"ingest"`` (atomic batch into ``target`` stream) or
+    ``"call"`` (stored procedure ``target``).  ``key`` routes calls
+    under the partitioned/served shapes; single engines ignore it.
+    ``may_abort`` marks calls whose deterministic abort is part of the
+    workload (the harness counts those instead of failing).
+    """
+
+    kind: str
+    target: str
+    rows: tuple = ()
+    args: tuple = ()
+    key: Any = None
+    may_abort: bool = False
+
+
+def ingest(stream: str, rows: Sequence[tuple]) -> Op:
+    return Op("ingest", stream, rows=tuple(tuple(r) for r in rows))
+
+
+def call(proc: str, *args: Any, key: Any = None, may_abort: bool = False) -> Op:
+    return Op("call", proc, args=tuple(args), key=key, may_abort=may_abort)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Input-script sizing; ``smoke()`` is the CI tier, ``full()`` the
+    benchmark default."""
+
+    batches: int = 8
+    rows_per_batch: int = 10
+
+    @classmethod
+    def smoke(cls) -> "Scale":
+        return cls(batches=6, rows_per_batch=8)
+
+    @classmethod
+    def full(cls) -> "Scale":
+        return cls(batches=40, rows_per_batch=25)
+
+    @property
+    def total_rows(self) -> int:
+        return self.batches * self.rows_per_batch
+
+
+@dataclass
+class Scenario:
+    """Base class; subclasses override ``deploy``/``ops``/``check``."""
+
+    name: str = "scenario"
+    # streams (and any coordinator-routed tables) -> partition column
+    partition_keys: dict = field(default_factory=dict)
+    # plain tables whose sorted contents form the conformance digest
+    output_tables: tuple = ()
+
+    def deploy(self, db, part) -> None:
+        raise NotImplementedError
+
+    def ops(self, seed: int, scale: Scale) -> list[Op]:
+        raise NotImplementedError
+
+    def check(
+        self,
+        read: Callable[[str], list[tuple]],
+        ops: Sequence[Op],
+        aborts: int,
+    ) -> list[str]:
+        """Return invariant violations; ``read(sql)`` runs a SELECT on
+        the shape under test and returns normalized row tuples."""
+        return []
+
+    # -- shared helpers for check() implementations ---------------------
+
+    @staticmethod
+    def ingested_rows(ops: Sequence[Op], stream: str) -> list[tuple]:
+        out: list[tuple] = []
+        for op in ops:
+            if op.kind == "ingest" and op.target == stream:
+                out.extend(op.rows)
+        return out

@@ -298,6 +298,7 @@ def test_stats_aggregates_partition_counters():
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.multicore
 def test_process_workers_end_to_end():
     with make_pdb(2, workers="process") as pdb:
         pdb.ingest("feed", [(a, 4) for a in range(ACCOUNTS)], wait=False)
@@ -310,6 +311,7 @@ def test_process_workers_end_to_end():
         assert [p["partition"] for p in stats["partitions"]] == [0, 1]
 
 
+@pytest.mark.multicore
 def test_process_worker_error_propagates_with_partition_prefix():
     from repro.common.errors import NoSuchProcedureError
 
@@ -318,6 +320,7 @@ def test_process_worker_error_propagates_with_partition_prefix():
             pdb.call("no_such_proc", key=1)
 
 
+@pytest.mark.multicore
 def test_deploy_failure_surfaces_at_startup():
     def bad_deploy(db, part):
         raise RuntimeError("deploy exploded")
@@ -331,7 +334,10 @@ def test_deploy_failure_surfaces_at_startup():
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("workers", ["inline", "process"])
+@pytest.mark.parametrize(
+    "workers",
+    ["inline", pytest.param("process", marks=pytest.mark.multicore)],
+)
 def test_partitioned_recovery_restores_pre_crash_state(tmp_path, workers):
     pdb = make_pdb(2, workers=workers, recovery_dir=tmp_path)
     pdb.ingest("feed", [(a, 6) for a in range(ACCOUNTS)])

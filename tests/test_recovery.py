@@ -600,3 +600,51 @@ class TestLogMechanics:
         assert db.stats()["recovery"] is None
         db.flush_log()  # no-ops
         db.close()
+
+
+# ---------------------------------------------------------------------------
+# Workload-driven crash (the conformance harness as a recovery oracle)
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadCrash:
+    def test_linear_road_partitioned_crash_matches_no_crash_digest(self, tmp_path):
+        """Crash the partitioned engine mid-Linear-Road, weak-recover every
+        partition, finish the script: the conformance digest must equal the
+        single-engine no-crash reference."""
+        from repro.partition import PartitionedDatabase
+        from repro.workloads import LinearRoadScenario, run_shape, state_digest
+        from repro.workloads.scenario import Scale
+
+        scenario = LinearRoadScenario()
+        ops = scenario.ops(31, Scale.smoke())
+        reference = run_shape(scenario, ops, "single")
+        cut = len(ops) // 2
+
+        kwargs = dict(
+            partition_keys=scenario.partition_keys,
+            workers="inline",
+            recovery_dir=tmp_path / "lr",
+            recovery="weak",
+        )
+        pdb = PartitionedDatabase(2, scenario.deploy, **kwargs)
+        for op in ops[:cut]:
+            pdb.ingest(op.target, [list(r) for r in op.rows])
+        pdb.drain()
+        pdb.flush_log()
+        pdb.kill()  # crash: both partitions die with their buffers
+
+        recovered = PartitionedDatabase(2, scenario.deploy, **kwargs)
+        try:
+            for op in ops[cut:]:
+                recovered.ingest(op.target, [list(r) for r in op.rows])
+            recovered.drain()
+
+            def read(sql):
+                return [tuple(r) for r in recovered.execute(sql).rows]
+
+            digest, _ = state_digest(read, scenario.output_tables)
+            assert digest == reference.digest
+            assert scenario.check(read, ops, 0) == []
+        finally:
+            recovered.close()

@@ -257,6 +257,8 @@ class TestWireFaults:
         # the budget taken by the orphaned request was released
         assert wait_until(lambda: db.stats()["server"]["inflight"]["now"] == 0)
 
+    @pytest.mark.slow
+    @pytest.mark.wallclock
     def test_idle_timeout_closes_quiet_connection(self, db):
         # a quiet connection gets one unsolicited typed error frame
         # ("idle timeout"), then EOF — read raw, since writing first
@@ -370,6 +372,8 @@ class TestBackpressure:
         db.drain()
         assert db.query("SELECT total FROM bal WHERE acct = 1") == [{"total": admitted}]
 
+    @pytest.mark.slow
+    @pytest.mark.wallclock
     def test_rejected_batch_retries_and_applies_exactly_once(self, db):
         with ReproServer(db, max_inflight_per_conn=1, max_inflight_total=1) as srv:
             blocker = client(srv)
@@ -402,6 +406,8 @@ class TestBackpressure:
             assert victim.stats()["server"]["rejected"]["total"] >= 2
             blocker.close(), victim.close()
 
+    @pytest.mark.slow
+    @pytest.mark.wallclock
     def test_stats_exempt_from_admission(self, db):
         # observability must survive overload: with the budget saturated,
         # stats still answers instead of being rejected
